@@ -1,0 +1,44 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the rows, and writes them to ``results/<experiment>.txt``.
+Heavy experiment outputs are cached per session so related figures
+(e.g. Fig 6 and Fig 7, which share the TPC-DS runs) do not recompute.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Dict
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent / "results"
+
+_SESSION_CACHE: Dict[str, object] = {}
+
+
+@pytest.fixture(scope="session")
+def session_cache() -> Dict[str, object]:
+    """Cross-test cache for shared experiment outputs."""
+    return _SESSION_CACHE
+
+
+def cached(cache: Dict[str, object], key: str, compute: Callable):
+    """Compute-once helper for expensive shared experiment runs."""
+    if key not in cache:
+        cache[key] = compute()
+    return cache[key]
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Write an experiment's rendered output to results/ and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _write

@@ -1,0 +1,121 @@
+"""Ablation: global vs local index scope on a partitioned table.
+
+The paper (Section III) motivates index *type* selection for
+partitioned deployments: a global index looks up fast but costs more
+storage; a local index is smaller but pays one tree descent per
+partition when the lookup cannot prune. This benchmark quantifies the
+trade-off on a hash-partitioned events table under two query mixes.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.engine.database import Database
+from repro.engine.index import IndexDef, IndexScope
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+
+from benchmarks.conftest import cached
+
+ROWS = 30000
+PARTITIONS = 8
+
+
+def build_db():
+    db = Database()
+    db.create_table(
+        table(
+            "events",
+            [
+                ("event_id", T.INT),
+                ("tenant_id", T.INT),
+                ("kind", T.INT),
+                ("value", T.FLOAT),
+            ],
+            primary_key=["event_id"],
+            partition_count=PARTITIONS,
+            partition_key="tenant_id",
+        )
+    )
+    rng = random.Random(3)
+    db.load_rows(
+        "events",
+        [
+            (i, rng.randrange(50), rng.randrange(400),
+             round(rng.random() * 100, 2))
+            for i in range(ROWS)
+        ],
+    )
+    db.analyze()
+    return db
+
+
+def run_scope_ablation():
+    rng = random.Random(7)
+    pruning = [
+        "SELECT count(*) FROM events "
+        f"WHERE tenant_id = {rng.randrange(50)} AND kind = {rng.randrange(400)}"
+        for _ in range(150)
+    ]
+    non_pruning = [
+        f"SELECT count(*) FROM events WHERE kind = {rng.randrange(400)}"
+        for _ in range(150)
+    ]
+    outcome = {}
+    for label, scope in (("global", IndexScope.GLOBAL),
+                         ("local", IndexScope.LOCAL)):
+        db = build_db()
+        index = db.create_index(
+            IndexDef(table="events", columns=("tenant_id", "kind"),
+                     scope=scope)
+        )
+        kind_index = db.create_index(
+            IndexDef(table="events", columns=("kind",), scope=scope)
+        )
+        db.analyze()
+        outcome[label] = {
+            "bytes": index.byte_size + kind_index.byte_size,
+            "pruning_cost": sum(db.execute(q).cost for q in pruning),
+            "non_pruning_cost": sum(
+                db.execute(q).cost for q in non_pruning
+            ),
+        }
+    return outcome
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_index_scope(benchmark, session_cache, write_result):
+    outcome = benchmark.pedantic(
+        lambda: cached(session_cache, "ablation_scope", run_scope_ablation),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            label,
+            f"{data['bytes'] / 1024:.0f} KB",
+            f"{data['pruning_cost']:.0f}",
+            f"{data['non_pruning_cost']:.0f}",
+        ]
+        for label, data in outcome.items()
+    ]
+    text = format_table(
+        ["scope", "index storage", "pruning lookups cost",
+         "non-pruning lookups cost"],
+        rows,
+    )
+    write_result("ablation_index_scope", text)
+
+    # The paper's trade-off, measured: global = more storage but
+    # cheaper non-pruning lookups; local = less storage, competitive
+    # when lookups prune to one partition.
+    assert outcome["global"]["bytes"] > outcome["local"]["bytes"]
+    assert (
+        outcome["global"]["non_pruning_cost"]
+        < outcome["local"]["non_pruning_cost"]
+    )
+    assert outcome["local"]["pruning_cost"] <= (
+        outcome["global"]["pruning_cost"] * 1.2
+    )

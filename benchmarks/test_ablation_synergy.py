@@ -1,0 +1,161 @@
+"""Ablation: index interaction (the paper's Q32 motivation).
+
+Section III motivates MCTS with TPC-DS Q32: two indexes that look
+mediocre individually are jointly decisive, so benefit-ranked greedy
+selection drops them. This benchmark engineers that situation
+explicitly:
+
+* a *synergy pair* — ``dim(a)`` makes the outer side of a join tiny
+  and ``fact(b)`` enables the index nested-loop probe; each alone
+  saves little because the other scan still dominates;
+* a *decoy* index with a solid standalone benefit that fills the
+  storage budget on its own.
+
+Under a budget that fits either {decoy} or {pair}, benefit-ranked
+top-k (and hill-climbing, which also scores the pair's first step low)
+takes the decoy; MCTS explores the combination and takes the pair.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import AdvisorKind, make_advisor
+from repro.bench.reporting import format_table
+from repro.engine.database import Database
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+
+from benchmarks.conftest import cached
+
+DIM_ROWS = 4000
+FACT_ROWS = 40000
+DECOY_ROWS = 9000
+
+
+def build_db() -> Database:
+    db = Database()
+    db.create_table(
+        table(
+            "dim",
+            [("d_id", T.INT), ("a", T.INT), ("payload", T.TEXT)],
+            primary_key=["d_id"],
+        )
+    )
+    db.create_table(
+        table(
+            "fact",
+            [("f_id", T.INT), ("b", T.INT), ("v", T.FLOAT)],
+            primary_key=["f_id"],
+        )
+    )
+    db.create_table(
+        table(
+            "decoy",
+            [("x_id", T.INT), ("c", T.INT), ("w", T.FLOAT)],
+            primary_key=["x_id"],
+        )
+    )
+    rng = random.Random(41)
+    db.load_rows(
+        "dim",
+        [(i, rng.randrange(800), f"p{i}") for i in range(DIM_ROWS)],
+    )
+    db.load_rows(
+        "fact",
+        [
+            (i, rng.randrange(DIM_ROWS), round(rng.random() * 10, 2))
+            for i in range(FACT_ROWS)
+        ],
+    )
+    db.load_rows(
+        "decoy",
+        [(i, rng.randrange(300), rng.random()) for i in range(DECOY_ROWS)],
+    )
+    db.analyze()
+    return db
+
+
+def workload(rng: random.Random, n: int):
+    queries = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.6:
+            # The synergy query: dim filtered on `a` (needs dim(a) to
+            # avoid the dim seq scan), joined into the big fact table
+            # on `b` (needs fact(b) for the index NL probe).
+            queries.append(
+                "SELECT sum(f.v) FROM dim d, fact f "
+                f"WHERE d.a = {rng.randrange(800)} AND f.b = d.d_id"
+            )
+        else:
+            # The decoy query: a plain selective filter on its own
+            # table — a solid, simple, standalone index benefit.
+            queries.append(
+                f"SELECT count(*) FROM decoy WHERE c = {rng.randrange(300)}"
+            )
+    return queries
+
+
+def run_synergy():
+    outcome = {}
+    # Budget sized to fit the decoy index OR the synergy pair, not both.
+    probe = build_db()
+    from repro.engine.index import IndexDef
+
+    pair_bytes = probe.index_size_bytes(
+        IndexDef(table="dim", columns=("a",))
+    ) + probe.index_size_bytes(IndexDef(table="fact", columns=("b",)))
+    decoy_bytes = probe.index_size_bytes(
+        IndexDef(table="decoy", columns=("c",))
+    )
+    budget = max(pair_bytes, decoy_bytes) + 1024
+
+    for kind in (
+        AdvisorKind.GREEDY, AdvisorKind.HILL_CLIMB, AdvisorKind.AUTOINDEX
+    ):
+        db = build_db()
+        advisor = make_advisor(
+            kind, db, storage_budget=budget, mcts_iterations=80
+        )
+        rng = random.Random(7)
+        train = workload(rng, 120)
+        for sql in train:
+            db.execute(sql)
+            advisor.observe(sql)
+        report = advisor.tune()
+        test_cost = sum(
+            db.execute(sql).cost
+            for sql in workload(random.Random(99), 80)
+        )
+        outcome[kind.value] = {
+            "created": [str(d) for d in report.created],
+            "test_cost": test_cost,
+        }
+    outcome["_budget"] = budget
+    return outcome
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_index_synergy(benchmark, session_cache, write_result):
+    outcome = benchmark.pedantic(
+        lambda: cached(session_cache, "ablation_synergy", run_synergy),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, ", ".join(data["created"]) or "(none)",
+         f"{data['test_cost']:.0f}"]
+        for name, data in outcome.items()
+        if not name.startswith("_")
+    ]
+    text = format_table(["selector", "indexes chosen", "test cost"], rows)
+    text += f"\n\nbudget: {outcome['_budget']} bytes"
+    write_result("ablation_synergy", text)
+
+    auto = outcome["AutoIndex"]
+    greedy = outcome["Greedy"]
+    # MCTS must capture the synergy pair and beat top-k overall.
+    assert any("dim(a)" in name for name in auto["created"])
+    assert any("fact(b)" in name for name in auto["created"])
+    assert auto["test_cost"] < greedy["test_cost"]

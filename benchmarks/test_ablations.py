@@ -1,0 +1,193 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* MCTS vs greedy variants under a budget — the value of tree search;
+* learned estimator vs static what-if cost model — the value of
+  Section V's deep regression;
+* template capacity sensitivity — the cost of SQL2Template's bounded
+  store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    AdvisorKind,
+    make_advisor,
+    prepare_database,
+    run_queries,
+)
+from repro.bench.reporting import format_table
+from repro.core.advisor import AutoIndexAdvisor
+from repro.core.estimator import DeepIndexEstimator, WhatIfCostModel
+from repro.workloads import TpcdsWorkload, TpccWorkload
+
+from benchmarks.conftest import cached
+
+BUDGET = int(2.5 * 1024 * 1024)
+
+
+def run_selector_ablation():
+    outcome = {}
+    for kind in (
+        AdvisorKind.GREEDY, AdvisorKind.HILL_CLIMB, AdvisorKind.AUTOINDEX
+    ):
+        generator = TpcdsWorkload()
+        db = prepare_database(generator)
+        advisor = make_advisor(
+            kind, db, storage_budget=BUDGET, mcts_iterations=100
+        )
+        for query in generator.queries():
+            db.execute(query.sql)
+            advisor.observe(query.sql)
+        report = advisor.tune()
+        test = run_queries(db, generator.queries())
+        outcome[kind.value] = {
+            "cost": test.total_cost,
+            "indexes": len(report.created),
+            "seconds": report.elapsed_seconds,
+        }
+    return outcome
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_mcts_vs_greedy_variants(
+    benchmark, session_cache, write_result
+):
+    outcome = benchmark.pedantic(
+        lambda: cached(session_cache, "ablation_selector", run_selector_ablation),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, f"{data['cost']:.0f}", data["indexes"],
+         f"{data['seconds']:.2f}"]
+        for name, data in outcome.items()
+    ]
+    text = format_table(
+        ["selector", "test workload cost", "indexes", "tuning s"], rows
+    )
+    write_result("ablation_mcts_vs_greedy", text)
+
+    # MCTS must beat static top-k under the budget; hill-climbing sits
+    # in between (it fixes ranking but still cannot remove/backtrack).
+    assert outcome["AutoIndex"]["cost"] < outcome["Greedy"]["cost"]
+    assert outcome["AutoIndex"]["cost"] <= outcome["HillClimb"]["cost"] * 1.05
+
+
+def run_estimator_ablation():
+    generator = TpccWorkload(scale=3, seed=11)
+    db = prepare_database(generator)
+    advisor = AutoIndexAdvisor(db)
+    # Collect (features, actual) pairs over a mixed workload.
+    for query in generator.queries(1200, seed=0):
+        result = db.execute(query.sql)
+        advisor.observe(query.sql)
+        advisor.record_execution(query.sql, result.cost)
+    X, y = advisor.estimator.training_matrix()
+
+    whatif_pred = WhatIfCostModel().predict(X)
+    deep = DeepIndexEstimator(epochs=500)
+    folds = deep.cross_validate(X, y, folds=9)
+    deep.fit(X, y)
+    deep_pred = deep.predict(X)
+
+    def q_error(pred):
+        p = np.maximum(pred, 1e-9)
+        t = np.maximum(y, 1e-9)
+        return float(np.mean(np.maximum(p / t, t / p)))
+
+    def mae(pred):
+        return float(np.mean(np.abs(pred - y)))
+
+    return {
+        "whatif_q": q_error(whatif_pred),
+        "deep_q": q_error(deep_pred),
+        "whatif_mae": mae(whatif_pred),
+        "deep_mae": mae(deep_pred),
+        "cv_q": float(np.mean([f.mean_q_error for f in folds])),
+        "samples": len(y),
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_estimator_accuracy(benchmark, session_cache, write_result):
+    outcome = benchmark.pedantic(
+        lambda: cached(
+            session_cache, "ablation_estimator", run_estimator_ablation
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["model", "MAE (fit)", "mean q-error (fit)",
+         "mean q-error (9-fold CV)"],
+        [
+            [
+                "static what-if sum",
+                f"{outcome['whatif_mae']:.3f}",
+                f"{outcome['whatif_q']:.2f}",
+                "-",
+            ],
+            [
+                "deep regression (Section V)",
+                f"{outcome['deep_mae']:.3f}",
+                f"{outcome['deep_q']:.2f}",
+                f"{outcome['cv_q']:.2f}",
+            ],
+        ],
+    )
+    text += f"\n\ntraining samples: {outcome['samples']}"
+    write_result("ablation_estimator", text)
+
+    assert outcome["deep_q"] <= outcome["whatif_q"] * 1.05, (
+        "the learned model should fit measured costs at least as well"
+    )
+    assert outcome["deep_mae"] <= outcome["whatif_mae"], (
+        "the learned weights should reduce absolute error (the paper's"
+        " motivation for replacing static weights)"
+    )
+
+
+def run_template_capacity_ablation():
+    outcome = {}
+    for capacity in (4, 32, 5000):
+        generator = TpccWorkload(scale=3, seed=11)
+        db = prepare_database(generator)
+        advisor = AutoIndexAdvisor(
+            db, template_capacity=capacity, mcts_iterations=60
+        )
+        run_queries(db, generator.queries(1200, seed=0), advisor)
+        report = advisor.tune()
+        test = run_queries(db, generator.queries(500, seed=700))
+        outcome[capacity] = {
+            "templates": report.templates_used,
+            "indexes": len(report.created),
+            "cost": test.total_cost,
+        }
+    return outcome
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_template_capacity(benchmark, session_cache, write_result):
+    outcome = benchmark.pedantic(
+        lambda: cached(
+            session_cache, "ablation_templates", run_template_capacity_ablation
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [capacity, data["templates"], data["indexes"], f"{data['cost']:.0f}"]
+        for capacity, data in outcome.items()
+    ]
+    text = format_table(
+        ["template capacity", "templates kept", "indexes created",
+         "test cost"],
+        rows,
+    )
+    write_result("ablation_templates", text)
+
+    # A severely capped store loses patterns; a comfortably sized one
+    # matches the unbounded store (the paper keeps 5000 for TPC-C).
+    assert outcome[32]["cost"] <= outcome[4]["cost"] * 1.1
+    assert outcome[32]["cost"] <= outcome[5000]["cost"] * 1.1

@@ -1,0 +1,125 @@
+"""Figures 6 and 7: per-query execution-time reduction on TPC-DS.
+
+Paper claims (under a storage budget):
+
+* Fig 6 — most TPC-DS queries are improved by AutoIndex, and by more
+  than Greedy improves them;
+* Fig 7 — the number of queries whose execution time drops by >10% is
+  much larger for AutoIndex (paper: 44 vs 15, i.e. ~3x), because
+  Greedy burns the budget on a few big fact-table indexes while MCTS
+  finds a configuration of complementary indexes (AutoIndex selected 9
+  indexes vs Greedy's 3).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    AdvisorKind,
+    make_advisor,
+    prepare_database,
+    run_per_query,
+)
+from repro.bench.reporting import format_table, improvement_counts
+from repro.workloads import TpcdsWorkload
+
+from benchmarks.conftest import cached
+
+BUDGET = int(2.5 * 1024 * 1024)  # scaled from the paper's limits
+
+
+def run_tpcds():
+    outcomes = {}
+    baseline = None
+    for kind in (
+        AdvisorKind.DEFAULT, AdvisorKind.GREEDY, AdvisorKind.AUTOINDEX
+    ):
+        generator = TpcdsWorkload()
+        db = prepare_database(generator)
+        advisor = make_advisor(
+            kind, db, storage_budget=BUDGET, mcts_iterations=100
+        )
+        queries = generator.queries()
+        for query in queries:
+            db.execute(query.sql)
+            advisor.observe(query.sql)
+        report = advisor.tune()
+        per_query = run_per_query(db, generator.queries())
+        outcomes[kind.value] = {
+            "per_query": per_query,
+            "created": getattr(report, "created", []),
+        }
+        if kind is AdvisorKind.DEFAULT:
+            baseline = per_query
+    return baseline, outcomes
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_execution_time_reduction(benchmark, session_cache, write_result):
+    baseline, outcomes = benchmark.pedantic(
+        lambda: cached(session_cache, "tpcds", run_tpcds),
+        rounds=1,
+        iterations=1,
+    )
+    auto = outcomes["AutoIndex"]["per_query"].reduction_vs(baseline)
+    greedy = outcomes["Greedy"]["per_query"].reduction_vs(baseline)
+
+    rows = [
+        [tag, f"{100 * greedy[tag]:.1f}%", f"{100 * auto[tag]:.1f}%"]
+        for tag in sorted(baseline.costs, key=lambda t: int(t[1:]))
+    ]
+    text = format_table(["query", "Greedy reduction", "AutoIndex reduction"], rows)
+    mean_auto = sum(auto.values()) / len(auto)
+    mean_greedy = sum(greedy.values()) / len(greedy)
+    text += (
+        f"\n\nmean reduction: AutoIndex {100 * mean_auto:.1f}% "
+        f"vs Greedy {100 * mean_greedy:.1f}%"
+    )
+    write_result("fig6_tpcds_reduction", text)
+
+    assert mean_auto > mean_greedy, "AutoIndex should improve more on average"
+    improved = sum(1 for r in auto.values() if r > 0.01)
+    assert improved >= len(auto) // 3, "most queries should improve"
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_optimized_query_counts(benchmark, session_cache, write_result):
+    baseline, outcomes = benchmark.pedantic(
+        lambda: cached(session_cache, "tpcds", run_tpcds),
+        rounds=1,
+        iterations=1,
+    )
+    auto = outcomes["AutoIndex"]["per_query"].reduction_vs(baseline)
+    greedy = outcomes["Greedy"]["per_query"].reduction_vs(baseline)
+    auto_counts = improvement_counts(auto)
+    greedy_counts = improvement_counts(greedy)
+
+    rows = [
+        [
+            f">{int(threshold * 100)}%",
+            greedy_counts[threshold],
+            auto_counts[threshold],
+        ]
+        for threshold in (0.10, 0.30, 0.50)
+    ]
+    rows.append(
+        [
+            "indexes created",
+            len(outcomes["Greedy"]["created"]),
+            len(outcomes["AutoIndex"]["created"]),
+        ]
+    )
+    text = format_table(
+        ["improvement threshold", "Greedy #queries", "AutoIndex #queries"],
+        rows,
+    )
+    write_result("fig7_tpcds_optimized_counts", text)
+
+    # Shape claims: AutoIndex optimizes more queries past 10% and
+    # selects more (budget-fitting) indexes than Greedy. The paper's
+    # ~3x count ratio is larger than ours because on this scaled
+    # substrate a few fact-table indexes serve an outsized share of
+    # the suite (see EXPERIMENTS.md); the ordering is the claim here.
+    assert auto_counts[0.10] > greedy_counts[0.10]
+    assert len(outcomes["AutoIndex"]["created"]) > len(
+        outcomes["Greedy"]["created"]
+    )

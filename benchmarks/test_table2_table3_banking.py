@@ -1,0 +1,166 @@
+"""Tables II and III: index creation in the banking hybrid scenario.
+
+Paper claims:
+
+* Table II — starting from the manual configuration, AutoIndex adds a
+  modest number of indexes (paper: +33, +1.27 GB) and improves both
+  services: summarization (OLAP) ~+10% tps, withdrawal (OLTP) ~+6%;
+  the OLAP side gains more because its queries are more complex;
+* Table III — example recommended indexes cut individual query costs
+  by large factors (up to ~98.7%).
+"""
+
+import pytest
+
+from repro.bench.harness import prepare_database, run_queries
+from repro.bench.reporting import format_table
+from repro.core.advisor import AutoIndexAdvisor
+from repro.workloads import BankingWorkload
+
+from benchmarks.conftest import cached
+
+
+def run_creation():
+    generator = BankingWorkload()
+    db = prepare_database(generator, with_defaults=False)
+    # Start from a *useful subset* of the manual configuration (the
+    # withdraw-service indexes that the removal experiment keeps), so
+    # the creation experiment isolates what *adding* indexes buys the
+    # hybrid workload — matching the paper's Table II setup where the
+    # DBA config is the baseline.
+    from repro.engine.index import IndexDef
+    from repro.workloads.banking import NUM_SUMMARY_TABLES
+
+    kept = [
+        d
+        for d in generator.manual_withdraw_indexes()
+        if d.table in ("account", "card", "txn_log", "customer")
+    ]
+    # The DBA config also has per-fact day indexes on the
+    # summarization side (the paper's baseline has 601 non-primary
+    # indexes over the hybrid services).
+    kept.extend(
+        IndexDef(table=f"sum_fact_{s}", columns=("day",))
+        for s in range(NUM_SUMMARY_TABLES)
+    )
+    for definition in kept:
+        db.create_index(definition)
+    db.analyze()
+    index_count_before = len(db.index_defs())
+    bytes_before = db.total_index_bytes()
+
+    sm_before = run_queries(db, generator.summarization_queries(400, seed=9))
+    wd_before = run_queries(db, generator.withdrawal_queries(1200, seed=9))
+
+    advisor = AutoIndexAdvisor(db, mcts_iterations=100)
+    run_queries(db, generator.queries(2500, seed=0), advisor)
+    report = advisor.tune()
+
+    sm_after = run_queries(db, generator.summarization_queries(400, seed=9))
+    wd_after = run_queries(db, generator.withdrawal_queries(1200, seed=9))
+
+    # Table III: the strongest per-index query-cost examples among the
+    # added indexes (the paper showcases ind15/ind20/ind32).
+    scored = []
+    estimator = advisor.estimator
+    templates = advisor.store.templates()
+    full = db.index_defs()
+    for definition in report.created:
+        serving = [
+            t
+            for t in templates
+            if definition.table in t.tables and not t.is_write
+        ]
+        if not serving:
+            continue
+        template = max(serving, key=lambda t: t.frequency)
+        without = [d for d in full if d.key != definition.key]
+        cost_with = estimator.query_cost(template, full)
+        cost_without = estimator.query_cost(template, without)
+        reduction = 1 - cost_with / max(cost_without, 1e-9)
+        scored.append(
+            (reduction, [definition.display_name, cost_without, cost_with])
+        )
+    scored.sort(key=lambda pair: -pair[0])
+    examples = [row for _reduction, row in scored[:3]]
+
+    return {
+        "created": report.created,
+        "dropped": report.dropped,
+        "index_count_before": index_count_before,
+        "bytes_added": db.total_index_bytes() - bytes_before,
+        "sm_gain": sm_after.throughput / sm_before.throughput - 1.0,
+        "wd_gain": wd_after.throughput / wd_before.throughput - 1.0,
+        "examples": examples,
+    }
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_banking_improvement(benchmark, session_cache, write_result):
+    outcome = benchmark.pedantic(
+        lambda: cached(session_cache, "table2", run_creation),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["metric", "Default", "AutoIndex"],
+        [
+            [
+                "# non-primary indexes",
+                outcome["index_count_before"],
+                f"+{len(outcome['created'])} / -{len(outcome['dropped'])}",
+            ],
+            [
+                "index disk space",
+                "baseline",
+                f"{outcome['bytes_added'] / (1024 * 1024):+.2f} MB",
+            ],
+            [
+                "summarization service (tps)",
+                "baseline",
+                f"{100 * outcome['sm_gain']:+.1f}%  (paper: +10%)",
+            ],
+            [
+                "withdrawal flow service (tps)",
+                "baseline",
+                f"{100 * outcome['wd_gain']:+.1f}%  (paper: +6%)",
+            ],
+        ],
+    )
+    write_result("table2_banking_creation", text)
+
+    assert len(outcome["created"]) >= 1
+    assert outcome["sm_gain"] > 0, "summarization service should gain"
+    assert outcome["wd_gain"] > -0.02, "withdrawal must not regress"
+    assert outcome["sm_gain"] > outcome["wd_gain"], (
+        "OLAP side should gain more (paper's third observation)"
+    )
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_example_indexes(benchmark, session_cache, write_result):
+    outcome = benchmark.pedantic(
+        lambda: cached(session_cache, "table2", run_creation),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, f"{without:.2f}", f"{with_:.2f}",
+         f"{100 * (1 - with_ / max(without, 1e-9)):.1f}%"]
+        for name, without, with_ in outcome["examples"]
+    ]
+    text = format_table(
+        ["index", "query cost (no index)", "query cost (with index)",
+         "reduction"],
+        rows,
+    )
+    write_result("table3_banking_examples", text)
+
+    assert outcome["examples"], "at least one example index expected"
+    # At least one recommended index should cut its query's cost hard
+    # (the paper's ind20 cuts 98.7%).
+    best = max(
+        1 - with_ / max(without, 1e-9)
+        for _name, without, with_ in outcome["examples"]
+    )
+    assert best > 0.5

@@ -1,0 +1,90 @@
+"""Storage-budget sweep (the paper's Figure 10 mechanic) plus a peek at
+the learned cost estimator.
+
+Shows two things on a TPC-C database:
+
+1. how AutoIndex's selection changes as the storage budget shrinks —
+   the policy tree backs off to smaller index combinations instead of
+   just truncating a ranked list;
+2. training the Section V deep regression on observed executions and
+   comparing its fit against the static what-if model.
+
+Run with::
+
+    python examples/budget_sweep.py
+"""
+
+import numpy as np
+
+from repro import AutoIndexAdvisor, Database, WhatIfCostModel
+from repro.workloads import TpccWorkload
+
+
+def sweep() -> None:
+    print("== storage budget sweep ==")
+    # Yardstick: the footprint of everything AutoIndex might build.
+    probe_gen = TpccWorkload(scale=4, seed=11)
+    probe_db = Database()
+    probe_gen.build(probe_db)
+    probe = AutoIndexAdvisor(probe_db)
+    for query in probe_gen.queries(600, seed=0):
+        probe_db.execute(query.sql)
+        probe.observe(query.sql)
+    candidates = probe.generator.generate(probe.store.templates())
+    footprint = sum(
+        probe_db.index_size_bytes(c.definition) for c in candidates
+    )
+    print(f"candidate footprint: {footprint / 1024:.0f} KB")
+
+    for label, budget in [
+        ("no limit", None),
+        ("60%", int(footprint * 0.6)),
+        ("30%", int(footprint * 0.3)),
+        ("10%", int(footprint * 0.1)),
+    ]:
+        generator = TpccWorkload(scale=4, seed=11)
+        db = Database()
+        generator.build(db)
+        advisor = AutoIndexAdvisor(
+            db, storage_budget=budget, mcts_iterations=80
+        )
+        for query in generator.queries(800, seed=0):
+            db.execute(query.sql)
+            advisor.observe(query.sql)
+        report = advisor.tune()
+        test_cost = sum(
+            db.execute(q.sql).cost for q in generator.queries(500, seed=900)
+        )
+        used = sum(db.index_size_bytes(d) for d in report.created)
+        print(
+            f"budget {label:9s}: {len(report.created)} indexes "
+            f"({used / 1024:.0f} KB), test cost {test_cost:,.0f}"
+        )
+
+
+def learned_estimator() -> None:
+    print("\n== learned cost estimator ==")
+    generator = TpccWorkload(scale=3, seed=11)
+    db = Database()
+    generator.build(db)
+    advisor = AutoIndexAdvisor(db)
+    for query in generator.queries(800, seed=0):
+        result = db.execute(query.sql)
+        advisor.observe(query.sql)
+        advisor.record_execution(query.sql, result.cost)
+
+    X, y = advisor.estimator.training_matrix()
+    naive = WhatIfCostModel().predict(X)
+    naive_mae = float(np.mean(np.abs(naive - y)))
+    metrics = advisor.train_estimator()
+    learned = advisor.estimator.model.predict(X)
+    learned_mae = float(np.mean(np.abs(learned - y)))
+    print(f"samples: {metrics.samples}")
+    print(f"static what-if model  MAE: {naive_mae:.3f}")
+    print(f"deep regression       MAE: {learned_mae:.3f} "
+          f"(q-error {metrics.mean_q_error:.2f})")
+
+
+if __name__ == "__main__":
+    sweep()
+    learned_estimator()

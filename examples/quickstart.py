@@ -1,0 +1,79 @@
+"""Quickstart: create a database, run a workload, let AutoIndex tune it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import AutoIndexAdvisor, ColumnType, Database, table
+
+
+def main() -> None:
+    # 1. Build a database on the bundled engine substrate.
+    db = Database()
+    db.create_table(
+        table(
+            "users",
+            [
+                ("id", ColumnType.INT),
+                ("email", ColumnType.TEXT),
+                ("country", ColumnType.INT),
+                ("age", ColumnType.INT),
+                ("plan", ColumnType.TEXT),
+            ],
+            primary_key=["id"],
+        )
+    )
+    rng = random.Random(1)
+    db.load_rows(
+        "users",
+        [
+            (
+                i,
+                f"user{i}@example.com",
+                rng.randrange(60),
+                rng.randrange(18, 90),
+                rng.choice(("free", "free", "free", "pro", "team")),
+            )
+            for i in range(20000)
+        ],
+    )
+    db.analyze()
+
+    # 2. Run a workload and let the advisor watch it.
+    advisor = AutoIndexAdvisor(db)
+    queries = [
+        f"SELECT id, email FROM users WHERE country = {rng.randrange(60)} "
+        "AND plan = 'team'"
+        for _ in range(120)
+    ]
+    before = 0.0
+    for sql in queries:
+        before += db.execute(sql).cost
+        advisor.observe(sql)
+    print(f"workload cost before tuning: {before:,.1f}")
+
+    # 3. One incremental tuning round: diagnose → candidates → MCTS.
+    report = advisor.tune()
+    print("created:", [str(d) for d in report.created])
+    print("dropped:", [str(d) for d in report.dropped])
+    print(
+        f"estimated benefit: {report.estimated_benefit:,.1f} of "
+        f"{report.baseline_cost:,.1f} "
+        f"({100 * report.estimated_benefit / report.baseline_cost:.1f}%)"
+    )
+
+    # 4. The same workload after tuning.
+    after = sum(db.execute(sql).cost for sql in queries)
+    print(f"workload cost after tuning:  {after:,.1f} "
+          f"({100 * (1 - after / before):.1f}% faster)")
+
+    # 5. Inspect a plan to see the new index in action.
+    print("\nplan for one query:")
+    print(db.explain(queries[0]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim (the sandbox lacks the ``wheel`` package, so the
+PEP 660 editable path is unavailable; ``--no-use-pep517`` uses this)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of AutoIndex (ICDE 2022): incremental index "
+        "management for dynamic workloads"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

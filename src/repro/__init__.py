@@ -1,0 +1,54 @@
+"""AutoIndex reproduction: incremental index management for dynamic
+workloads (Zhou et al., ICDE 2022), on a from-scratch relational
+substrate.
+
+Public API quick tour::
+
+    from repro import Database, AutoIndexAdvisor, IndexDef
+    from repro.workloads import TpccWorkload
+
+    workload = TpccWorkload(scale=1)
+    db = Database()
+    workload.build(db)
+
+    advisor = AutoIndexAdvisor(db, storage_budget=50 * 1024 * 1024)
+    for query in workload.queries(500):
+        result = db.execute(query.sql)
+        advisor.observe(query.sql)
+    report = advisor.tune()
+    print(report.created, report.dropped)
+"""
+
+from repro.core.advisor import AutoIndexAdvisor, TuningReport
+from repro.core.baselines import DefaultAdvisor, GreedyAdvisor, QueryLevelAdvisor
+from repro.core.estimator import (
+    BenefitEstimator,
+    DeepIndexEstimator,
+    WhatIfCostModel,
+)
+from repro.core.templates import TemplateStore
+from repro.engine.database import Database, ExecutionResult
+from repro.engine.index import IndexDef, IndexScope
+from repro.engine.schema import Column, ColumnType, TableSchema, table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoIndexAdvisor",
+    "BenefitEstimator",
+    "Column",
+    "ColumnType",
+    "Database",
+    "DeepIndexEstimator",
+    "DefaultAdvisor",
+    "ExecutionResult",
+    "GreedyAdvisor",
+    "IndexDef",
+    "IndexScope",
+    "QueryLevelAdvisor",
+    "TableSchema",
+    "TemplateStore",
+    "TuningReport",
+    "WhatIfCostModel",
+    "table",
+]

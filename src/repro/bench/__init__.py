@@ -1,0 +1,32 @@
+"""Benchmark harness: run (advisor × workload × budget) experiments and
+render the paper's tables and figures as text."""
+
+from repro.bench.harness import (
+    AdvisorKind,
+    ExperimentResult,
+    PerQueryResult,
+    make_advisor,
+    prepare_database,
+    run_advisor_experiment,
+    run_queries,
+    run_per_query,
+)
+from repro.bench.reporting import (
+    format_figure_series,
+    format_table,
+    improvement_counts,
+)
+
+__all__ = [
+    "AdvisorKind",
+    "ExperimentResult",
+    "PerQueryResult",
+    "format_figure_series",
+    "format_table",
+    "improvement_counts",
+    "make_advisor",
+    "prepare_database",
+    "run_advisor_experiment",
+    "run_per_query",
+    "run_queries",
+]

@@ -1,0 +1,201 @@
+"""Experiment driver shared by every benchmark.
+
+Measurement conventions (see DESIGN.md §5):
+
+* **latency** of a workload = sum of the engine's deterministic
+  execution costs;
+* **throughput** = queries / total cost (reported relative to a
+  baseline, matching how the paper reports percentages);
+* **storage** = real B+Tree bytes;
+* **tuning overhead** = statements analysed + estimator calls + wall
+  seconds of the advisor itself.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.advisor import AutoIndexAdvisor, TuningReport
+from repro.core.baselines import DefaultAdvisor, GreedyAdvisor, QueryLevelAdvisor
+from repro.engine.database import Database
+from repro.workloads.base import Query, WorkloadGenerator
+
+
+class AdvisorKind(enum.Enum):
+    """The advisors compared throughout the evaluation."""
+
+    DEFAULT = "Default"
+    GREEDY = "Greedy"
+    AUTOINDEX = "AutoIndex"
+    QUERY_LEVEL = "QueryLevel"
+    HILL_CLIMB = "HillClimb"
+
+
+def prepare_database(
+    generator: WorkloadGenerator, with_defaults: bool = True
+) -> Database:
+    """Fresh database with the generator's schema, data, and defaults."""
+    db = Database()
+    generator.build(db, with_defaults=with_defaults)
+    return db
+
+
+def make_advisor(
+    kind: AdvisorKind,
+    db: Database,
+    storage_budget: Optional[int] = None,
+    mcts_iterations: int = 80,
+    seed: int = 17,
+):
+    """Instantiate the advisor under test."""
+    if kind is AdvisorKind.DEFAULT:
+        return DefaultAdvisor(db)
+    if kind is AdvisorKind.GREEDY:
+        return GreedyAdvisor(db, storage_budget=storage_budget)
+    if kind is AdvisorKind.HILL_CLIMB:
+        return GreedyAdvisor(
+            db, storage_budget=storage_budget, marginal=True
+        )
+    if kind is AdvisorKind.AUTOINDEX:
+        return AutoIndexAdvisor(
+            db,
+            storage_budget=storage_budget,
+            mcts_iterations=mcts_iterations,
+            seed=seed,
+        )
+    if kind is AdvisorKind.QUERY_LEVEL:
+        return QueryLevelAdvisor(
+            db,
+            storage_budget=storage_budget,
+            mcts_iterations=mcts_iterations,
+            seed=seed,
+        )
+    raise ValueError(f"unknown advisor kind {kind}")
+
+
+@dataclass
+class RunStats:
+    """Execution statistics for one batch of queries."""
+
+    total_cost: float = 0.0
+    query_count: int = 0
+    read_cost: float = 0.0
+    write_cost: float = 0.0
+
+    @property
+    def mean_cost(self) -> float:
+        return self.total_cost / max(self.query_count, 1)
+
+    @property
+    def throughput(self) -> float:
+        """Queries per 1000 cost units (relative metric)."""
+        if self.total_cost <= 0:
+            return 0.0
+        return 1000.0 * self.query_count / self.total_cost
+
+
+def run_queries(
+    db: Database,
+    queries: Sequence[Query],
+    advisor=None,
+) -> RunStats:
+    """Execute a batch, optionally feeding the advisor's observer."""
+    stats = RunStats()
+    for query in queries:
+        result = db.execute(query.sql)
+        stats.total_cost += result.cost
+        stats.query_count += 1
+        if query.is_write:
+            stats.write_cost += result.cost
+        else:
+            stats.read_cost += result.cost
+        if advisor is not None:
+            advisor.observe(query.sql)
+    return stats
+
+
+@dataclass
+class PerQueryResult:
+    """Per-tag execution cost (for the Fig 6/7 style plots)."""
+
+    costs: Dict[str, float] = field(default_factory=dict)
+
+    def reduction_vs(self, baseline: "PerQueryResult") -> Dict[str, float]:
+        """Fractional execution-cost reduction per query tag."""
+        out = {}
+        for tag, base in baseline.costs.items():
+            mine = self.costs.get(tag, base)
+            out[tag] = 0.0 if base <= 0 else (base - mine) / base
+        return out
+
+
+def run_per_query(db: Database, queries: Sequence[Query]) -> PerQueryResult:
+    """Execute tagged queries, recording cost per tag."""
+    result = PerQueryResult()
+    for query in queries:
+        tag = query.tag or query.sql
+        result.costs[tag] = result.costs.get(tag, 0.0) + db.execute(
+            query.sql
+        ).cost
+    return result
+
+
+@dataclass
+class ExperimentResult:
+    """One (advisor, workload) experiment outcome."""
+
+    advisor: str
+    train_stats: RunStats
+    test_stats: RunStats
+    tuning: Optional[TuningReport]
+    index_count: int
+    index_bytes: int
+    tuning_seconds: float
+
+    @property
+    def total_latency(self) -> float:
+        return self.test_stats.total_cost
+
+    @property
+    def throughput(self) -> float:
+        return self.test_stats.throughput
+
+
+def run_advisor_experiment(
+    generator: WorkloadGenerator,
+    kind: AdvisorKind,
+    train_queries: int,
+    test_queries: int,
+    storage_budget: Optional[int] = None,
+    seed: int = 0,
+    mcts_iterations: int = 80,
+    with_defaults: bool = True,
+) -> ExperimentResult:
+    """The standard protocol: observe a training batch, tune once,
+    then measure a held-out test batch."""
+    db = prepare_database(generator, with_defaults=with_defaults)
+    advisor = make_advisor(
+        kind, db, storage_budget=storage_budget,
+        mcts_iterations=mcts_iterations,
+    )
+    train = generator.queries(train_queries, seed=seed)
+    train_stats = run_queries(db, train, advisor)
+
+    start = time.perf_counter()
+    tuning = advisor.tune()
+    tuning_seconds = time.perf_counter() - start
+
+    test = generator.queries(test_queries, seed=seed + 1000)
+    test_stats = run_queries(db, test)
+    return ExperimentResult(
+        advisor=kind.value,
+        train_stats=train_stats,
+        test_stats=test_stats,
+        tuning=tuning,
+        index_count=len(db.index_defs()),
+        index_bytes=db.total_index_bytes(),
+        tuning_seconds=tuning_seconds,
+    )

@@ -1,0 +1,68 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table (the benchmark output format)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(cells):
+        line = "  ".join(
+            value.ljust(widths[col]) for col, value in enumerate(row)
+        )
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_figure_series(
+    title: str,
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render a figure as one row per series (x-axis as columns)."""
+    headers = ["series"] + list(x_labels)
+    rows = [
+        [name] + list(values) for name, values in series.items()
+    ]
+    return f"{title}\n" + format_table(headers, rows)
+
+
+def improvement_counts(
+    reductions: Mapping[str, float],
+    thresholds: Sequence[float] = (0.10, 0.30, 0.50),
+) -> Dict[float, int]:
+    """How many queries improved by more than each threshold.
+
+    This is the Fig 7 metric ("execution time reduced by over 10%").
+    """
+    return {
+        threshold: sum(1 for r in reductions.values() if r > threshold)
+        for threshold in thresholds
+    }
+
+
+def relative_change(before: float, after: float) -> float:
+    """Percentage change from before to after (positive = increase)."""
+    if before == 0:
+        return 0.0
+    return 100.0 * (after - before) / before

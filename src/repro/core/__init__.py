@@ -1,0 +1,43 @@
+"""AutoIndex core: the paper's primary contribution.
+
+Pipeline (Section III):
+
+1. :mod:`repro.core.diagnosis` — detect index problems from workload
+   metrics and decide when to tune;
+2. :mod:`repro.core.templates` — SQL2Template workload compression;
+3. :mod:`repro.core.candidates` — template-based candidate index
+   generation (DNF factorization, selectivity gate, join/driven-table
+   rule, leftmost-prefix merge);
+4. :mod:`repro.core.mcts` — MCTS index update over the policy tree;
+5. :mod:`repro.core.estimator` — the deep index-benefit estimation
+   model (Section V cost features + one-layer regression);
+6. :mod:`repro.core.advisor` — the orchestrating AutoIndexAdvisor;
+7. :mod:`repro.core.baselines` — Default / Greedy / query-level
+   comparison advisors.
+"""
+
+from repro.core.advisor import AutoIndexAdvisor, TuningReport
+from repro.core.baselines import DefaultAdvisor, GreedyAdvisor, QueryLevelAdvisor
+from repro.core.candidates import CandidateGenerator
+from repro.core.estimator import BenefitEstimator, DeepIndexEstimator, WhatIfCostModel
+from repro.core.mcts import MctsIndexSelector, PolicyTree
+from repro.core.templates import QueryTemplate, TemplateStore
+from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
+
+__all__ = [
+    "AutoIndexAdvisor",
+    "BenefitEstimator",
+    "CandidateGenerator",
+    "DeepIndexEstimator",
+    "DefaultAdvisor",
+    "GreedyAdvisor",
+    "IndexDiagnosis",
+    "IndexProblemReport",
+    "MctsIndexSelector",
+    "PolicyTree",
+    "QueryLevelAdvisor",
+    "QueryTemplate",
+    "TemplateStore",
+    "TuningReport",
+    "WhatIfCostModel",
+]

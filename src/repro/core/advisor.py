@@ -1,0 +1,307 @@
+"""The AutoIndex advisor: the orchestrating system of the paper.
+
+Wires the pipeline together exactly as Section III describes:
+
+    workload → SQL2Template → candidate generation → MCTS index
+    update (add/remove under a storage budget) → apply to the DB,
+
+with the index-benefit estimator (static what-if model until enough
+history is recorded, then the trained one-layer deep regression)
+supplying every cost evaluated inside MCTS, and the diagnosis module
+deciding when tuning is worthwhile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.candidates import CandidateGenerator, CandidateIndex
+from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
+from repro.core.estimator import BenefitEstimator, DeepIndexEstimator
+from repro.core.mcts import MctsIndexSelector, SearchResult
+from repro.core.templates import QueryTemplate, TemplateStore
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.sql import ast
+
+
+@dataclass
+class TuningReport:
+    """What one tuning round did and what it cost."""
+
+    created: List[IndexDef] = field(default_factory=list)
+    dropped: List[IndexDef] = field(default_factory=list)
+    estimated_benefit: float = 0.0
+    baseline_cost: float = 0.0
+    templates_used: int = 0
+    candidates_considered: int = 0
+    estimator_calls: int = 0
+    statements_analyzed: int = 0
+    elapsed_seconds: float = 0.0
+    search: Optional[SearchResult] = None
+    skipped: bool = False
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.created or self.dropped)
+
+    def render(self) -> str:
+        """Human-readable one-round summary (for logs and examples)."""
+        if self.skipped:
+            return "tuning skipped (no index problems detected)"
+        lines = []
+        if self.created:
+            lines.append(
+                "created: " + ", ".join(str(d) for d in self.created)
+            )
+        if self.dropped:
+            lines.append(
+                "dropped: " + ", ".join(str(d) for d in self.dropped)
+            )
+        if not self.changed:
+            lines.append("no index changes")
+        if self.baseline_cost > 0:
+            lines.append(
+                f"estimated benefit: {self.estimated_benefit:,.1f} "
+                f"of {self.baseline_cost:,.1f} "
+                f"({100 * self.estimated_benefit / self.baseline_cost:.1f}%)"
+            )
+        lines.append(
+            f"analysed {self.templates_used} templates, "
+            f"{self.candidates_considered} candidates, "
+            f"{self.estimator_calls} estimator calls "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+class AutoIndexAdvisor:
+    """Incremental index management for one database.
+
+    Typical use::
+
+        advisor = AutoIndexAdvisor(db, storage_budget=50 * MiB)
+        for q in workload:
+            db.execute(q.sql)
+            advisor.observe(q.sql)
+        advisor.tune()          # diagnose → candidates → MCTS → apply
+
+    Parameters mirror the paper's knobs: template capacity, the
+    candidate selectivity threshold, the MCTS exploration constant
+    gamma, and the storage budget.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        storage_budget: Optional[int] = None,
+        template_capacity: int = 5000,
+        selectivity_threshold: float = 1.0 / 3.0,
+        gamma: float = 0.4,
+        mcts_iterations: int = 60,
+        rollouts: int = 3,
+        top_templates: int = 120,
+        use_templates: bool = True,
+        train_sample_rate: float = 0.05,
+        seed: int = 17,
+    ):
+        self.db = db
+        self.storage_budget = storage_budget
+        self.top_templates = top_templates
+        self.use_templates = use_templates
+        self.train_sample_rate = train_sample_rate
+        self.store = TemplateStore(capacity=template_capacity)
+        self.generator = CandidateGenerator(
+            db.catalog, selectivity_threshold=selectivity_threshold
+        )
+        self.estimator = BenefitEstimator(db)
+        self.selector = MctsIndexSelector(
+            self.estimator,
+            gamma=gamma,
+            iterations=mcts_iterations,
+            rollouts=rollouts,
+            seed=seed,
+        )
+        self.diagnosis = IndexDiagnosis(db, self.store, self.generator)
+        self.statements_analyzed = 0
+        self._observed_since_training = 0
+        self.tuning_history: List[TuningReport] = []
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def observe(self, sql: str) -> QueryTemplate:
+        """Feed one executed query into SQL2Template.
+
+        With ``use_templates=False`` (the Figure 8 query-level
+        ablation) every distinct statement text is analysed
+        individually — no workload compression.
+        """
+        if self.use_templates:
+            statement = self.db.parse_statement(sql)
+            template = self.store.observe(sql, statement)
+            if template.frequency <= 1.0:
+                # Only brand-new templates cost analysis work.
+                self.statements_analyzed += 1
+            if self.store.drift_detected():
+                self.store.handle_drift()
+            return template
+        self.statements_analyzed += 1
+        statement = self.db.parse_statement(sql)
+        template = QueryTemplate(
+            fingerprint=sql,
+            statement=statement,
+            frequency=1.0,
+            sample_sql=sql,
+            is_write=ast.is_write(statement),
+        )
+        existing = self.store.get(sql)
+        if existing is None:
+            self.store._templates[sql] = template  # raw-text store
+            existing = template
+        existing.frequency += 1.0
+        existing.window_frequency += 1.0
+        return existing
+
+    def observe_queries(self, queries: Sequence) -> None:
+        """Observe a batch (items may be Query objects or SQL strings)."""
+        for query in queries:
+            sql = getattr(query, "sql", query)
+            self.observe(sql)
+
+    def record_execution(self, sql: str, actual_cost: float) -> None:
+        """Log a (features, measured-cost) training pair.
+
+        Call with a sample of executed queries (the paper samples
+        0.01% of the banking workload); the recorded history trains
+        the deep estimator on :meth:`train_estimator`.
+        """
+        statement = self.db.parse_statement(sql)
+        self.estimator.record_execution(statement, actual_cost)
+        self._observed_since_training += 1
+
+    def train_estimator(self):
+        """Fit the deep regression on recorded history (if any)."""
+        if not self.estimator.history:
+            return None
+        metrics = self.estimator.train()
+        self._observed_since_training = 0
+        return metrics
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save_state(self, directory) -> None:
+        """Persist advisor state (templates + trained estimator).
+
+        The policy tree itself is rebuilt cheaply from the saved
+        templates on the next tuning round; what must survive a
+        restart is the workload knowledge and the learned weights.
+        """
+        import json
+        import pathlib
+
+        path = pathlib.Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "templates.json").write_text(
+            json.dumps(self.store.to_dict())
+        )
+        if isinstance(self.estimator.model, DeepIndexEstimator) and (
+            self.estimator.model.trained
+        ):
+            self.estimator.model.save(path / "estimator.npz")
+
+    def load_state(self, directory) -> None:
+        """Restore state saved with :meth:`save_state`."""
+        import json
+        import pathlib
+
+        path = pathlib.Path(directory)
+        store_file = path / "templates.json"
+        if store_file.exists():
+            self.store = TemplateStore.from_dict(
+                json.loads(store_file.read_text())
+            )
+            self.diagnosis.store = self.store
+        model_file = path / "estimator.npz"
+        if model_file.exists():
+            self.estimator.model = DeepIndexEstimator.load(model_file)
+            self.estimator.clear_cache()
+
+    # ------------------------------------------------------------------
+    # tuning
+    # ------------------------------------------------------------------
+
+    def diagnose(self) -> IndexProblemReport:
+        return self.diagnosis.diagnose(
+            protected=self.protected_indexes(),
+            top_templates=self.top_templates,
+        )
+
+    def protected_indexes(self) -> List[IndexDef]:
+        """Primary-key / unique indexes are never dropped."""
+        return [d for d in self.db.index_defs() if d.unique]
+
+    def tune(
+        self,
+        force: bool = True,
+        trigger_threshold: float = 0.1,
+    ) -> TuningReport:
+        """Run one incremental tuning round and apply the result.
+
+        With ``force=False`` the round is skipped unless the diagnosis
+        module reports enough index problems (the paper's monitored
+        trigger).
+        """
+        start = time.perf_counter()
+        calls_before = self.estimator.estimate_calls
+        report = TuningReport()
+
+        if not force:
+            problems = self.diagnose()
+            if not problems.should_tune(trigger_threshold):
+                report.skipped = True
+                report.elapsed_seconds = time.perf_counter() - start
+                self.tuning_history.append(report)
+                return report
+
+        templates = self.store.templates(top=self.top_templates)
+        candidates = self.generator.generate(templates)
+        existing = self.db.index_defs()
+        protected = self.protected_indexes()
+
+        result = self.selector.search(
+            existing=existing,
+            candidates=[c.definition for c in candidates],
+            templates=templates,
+            budget_bytes=self.storage_budget,
+            protected=protected,
+        )
+
+        for definition in result.removals:
+            self.db.drop_index(definition)
+        for definition in result.additions:
+            self.db.create_index(definition)
+        if result.additions or result.removals:
+            self.estimator.clear_cache()
+            self.db.reset_index_usage()
+
+        report.created = result.additions
+        report.dropped = result.removals
+        report.estimated_benefit = result.best_benefit
+        report.baseline_cost = result.baseline_cost
+        report.templates_used = len(templates)
+        report.candidates_considered = len(candidates)
+        report.estimator_calls = (
+            self.estimator.estimate_calls - calls_before
+        )
+        report.statements_analyzed = self.statements_analyzed
+        report.search = result
+        report.elapsed_seconds = time.perf_counter() - start
+        self.tuning_history.append(report)
+        self.store.begin_tuning_window()
+        return report

@@ -1,0 +1,377 @@
+"""Template-based candidate index generation (paper Section IV-A).
+
+For each query template:
+
+1. **Expression extraction** — pull filter predicates, join predicates,
+   and GROUP/ORDER expressions out of every clause (recursing into
+   derived tables and IN-subqueries);
+2. **Index generation** —
+   * boolean filter predicates are rewritten to DNF; each disjunct's
+     AND-conjuncts over one table form a composite candidate whose
+     equality columns are ordered most-distinct first with at most one
+     trailing range column; candidates whose estimated matching
+     fraction exceeds the selectivity threshold (default 1/3) are
+     dropped, mirroring the paper's gate;
+   * each atomic equi-join contributes a candidate on the *driven*
+     (smaller) table's join column;
+   * GROUP BY / ORDER BY columns contribute candidates when the
+     grouping actually takes effect (the column is not unique);
+3. **Redundancy removal** — duplicates are dropped, leftmost-prefix
+   subsumed candidates are merged into the wider index, and candidates
+   already materialised in the catalog are removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef, IndexScope
+from repro.core.templates import QueryTemplate
+from repro.sql import ast
+from repro.sql.predicates import (
+    FilterPredicate,
+    classify_atom,
+    dnf_terms,
+)
+
+DEFAULT_SELECTIVITY_THRESHOLD = 1.0 / 3.0
+
+
+@dataclass
+class CandidateIndex:
+    """A proposed index plus the evidence that motivated it."""
+
+    definition: IndexDef
+    support: float = 0.0  # summed frequency of supporting templates
+    sources: Set[str] = field(default_factory=set)  # template fingerprints
+
+    def merge_from(self, other: "CandidateIndex") -> None:
+        self.support += other.support
+        self.sources |= other.sources
+
+
+class CandidateGenerator:
+    """Generates and merges candidate indexes from templates."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        selectivity_threshold: float = DEFAULT_SELECTIVITY_THRESHOLD,
+        max_columns: int = 4,
+    ):
+        self.catalog = catalog
+        self.selectivity_threshold = selectivity_threshold
+        self.max_columns = max_columns
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def generate(
+        self, templates: Sequence[QueryTemplate]
+    ) -> List[CandidateIndex]:
+        """Candidates for a set of templates: extracted, merged, and
+        filtered against already-existing indexes."""
+        collected: Dict[Tuple, CandidateIndex] = {}
+        for template in templates:
+            weight = max(template.weight, 1.0)
+            for definition in self.for_statement(template.statement):
+                candidate = CandidateIndex(
+                    definition=definition,
+                    support=weight,
+                    sources={template.fingerprint},
+                )
+                existing = collected.get(definition.key)
+                if existing is None:
+                    collected[definition.key] = candidate
+                else:
+                    existing.merge_from(candidate)
+        merged = self._merge_prefixes(list(collected.values()))
+        return self._drop_existing(merged)
+
+    def for_statement(self, stmt: ast.Statement) -> List[IndexDef]:
+        """Raw (unmerged) candidates for one statement."""
+        result: List[IndexDef] = []
+        if isinstance(stmt, ast.Select):
+            self._from_select(stmt, result)
+        elif isinstance(stmt, ast.Update):
+            self._from_where(stmt.table, stmt.where, result)
+        elif isinstance(stmt, ast.Delete):
+            self._from_where(stmt.table, stmt.where, result)
+        # INSERTs create no lookup requirements.
+        return self._with_scope_variants(result)
+
+    def _with_scope_variants(
+        self, candidates: List[IndexDef]
+    ) -> List[IndexDef]:
+        """On partitioned tables, offer both GLOBAL and LOCAL scopes
+        and let the selector trade lookup speed against storage
+        (paper, Section III)."""
+        result = list(candidates)
+        for definition in candidates:
+            schema = self.catalog.table(definition.table).schema
+            if schema.is_partitioned and definition.scope is IndexScope.GLOBAL:
+                result.append(
+                    IndexDef(
+                        table=definition.table,
+                        columns=definition.columns,
+                        scope=IndexScope.LOCAL,
+                    )
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # SELECT extraction
+    # ------------------------------------------------------------------
+
+    def _from_select(self, select: ast.Select, out: List[IndexDef]) -> None:
+        binding_tables = self._binding_tables(select)
+
+        if select.where is not None:
+            self._from_predicate(select.where, binding_tables, out)
+
+        for group in select.group_by:
+            self._from_output_expr(group, binding_tables, out, grouping=True)
+        for item in select.order_by:
+            self._from_output_expr(
+                item.expr, binding_tables, out, grouping=False
+            )
+
+        # Recurse into derived tables and IN-subqueries.
+        for src in select.sources:
+            if isinstance(src, ast.SubquerySource):
+                self._from_select(src.select, out)
+        if select.where is not None:
+            for node in ast.walk(select.where):
+                if isinstance(node, ast.InSubquery):
+                    self._from_select(node.select, out)
+                elif isinstance(node, ast.ScalarSubquery):
+                    self._from_select(node.select, out)
+
+    def _from_where(
+        self, table: str, where: Optional[ast.Expr], out: List[IndexDef]
+    ) -> None:
+        if where is None or not self.catalog.has_table(table):
+            return
+        self._from_predicate(where, {table: table}, out)
+
+    # ------------------------------------------------------------------
+    # predicate → candidates
+    # ------------------------------------------------------------------
+
+    def _from_predicate(
+        self,
+        predicate: ast.Expr,
+        binding_tables: Dict[str, str],
+        out: List[IndexDef],
+    ) -> None:
+        """DNF factorization + per-disjunct composite candidates."""
+        for disjunct in dnf_terms(predicate):
+            filters_by_table: Dict[str, List[FilterPredicate]] = {}
+            for atom in disjunct:
+                kind, payload = classify_atom(atom)
+                if kind == "filter":
+                    fp: FilterPredicate = payload  # type: ignore[assignment]
+                    table = self._table_of(fp.column, binding_tables)
+                    if table is not None:
+                        filters_by_table.setdefault(table, []).append(fp)
+                elif kind == "join":
+                    self._from_join(payload, binding_tables, out)
+            for table, filters in filters_by_table.items():
+                candidate = self._composite_candidate(table, filters)
+                if candidate is not None:
+                    out.append(candidate)
+
+    def _composite_candidate(
+        self, table: str, filters: List[FilterPredicate]
+    ) -> Optional[IndexDef]:
+        """One candidate from a conjunction of filters on one table.
+
+        Equality columns first (most selective, i.e. highest distinct
+        count, first — ties broken by appearance order), then at most
+        one range column. Gated on estimated matching fraction.
+        """
+        stats = self.catalog.stats(table)
+        schema = self.catalog.table(table).schema
+
+        eq_cols: List[str] = []
+        range_cols: List[Tuple[str, FilterPredicate]] = []
+        selectivity = 1.0
+        for fp in filters:
+            col = fp.column.column
+            if not schema.has_column(col):
+                return None
+            if fp.op in ("=", "in", "isnull"):
+                if col not in eq_cols:
+                    eq_cols.append(col)
+                    selectivity *= stats.column(col).selectivity(
+                        fp.op, fp.values
+                    )
+            elif fp.is_range:
+                if col not in eq_cols and all(c != col for c, _ in range_cols):
+                    range_cols.append((col, fp))
+
+        eq_cols.sort(
+            key=lambda c: -stats.column(c).n_distinct
+        )  # stable: ties keep appearance order
+
+        range_col: Optional[str] = None
+        if range_cols:
+            # Pick the most selective range column; fold its
+            # selectivity into the gate.
+            best = min(
+                range_cols,
+                key=lambda pair: stats.column(pair[0]).selectivity(
+                    pair[1].op, pair[1].values
+                ),
+            )
+            range_col = best[0]
+            selectivity *= stats.column(best[0]).selectivity(
+                best[1].op, best[1].values
+            )
+
+        columns = eq_cols[: self.max_columns]
+        if range_col is not None and len(columns) < self.max_columns:
+            columns = columns + [range_col]
+        if not columns:
+            return None
+        # The paper's gate: give up the index when the predicate keeps
+        # too large a fraction of the table (low filtering power).
+        if selectivity > self.selectivity_threshold:
+            return None
+        # An index over a single-valued column can never discriminate.
+        if all(stats.column(c).n_distinct <= 1 for c in columns):
+            return None
+        return IndexDef(table=table, columns=tuple(columns))
+
+    def _from_join(
+        self,
+        join,
+        binding_tables: Dict[str, str],
+        out: List[IndexDef],
+    ) -> None:
+        """Atomic equi-join → candidate on the driven table's column.
+
+        The driven table is the one looked up per outer row — the
+        paper takes the smaller table; with statistics available we
+        use row counts, falling back to the right side.
+        """
+        left_table = self._table_of(join.left, binding_tables)
+        right_table = self._table_of(join.right, binding_tables)
+        if left_table is None or right_table is None:
+            return
+        left_rows = self.catalog.stats(left_table).row_count
+        right_rows = self.catalog.stats(right_table).row_count
+        if left_rows <= right_rows:
+            driven_table, driven_col = left_table, join.left.column
+        else:
+            driven_table, driven_col = right_table, join.right.column
+        schema = self.catalog.table(driven_table).schema
+        if schema.has_column(driven_col):
+            out.append(
+                IndexDef(table=driven_table, columns=(driven_col,))
+            )
+        # The non-driven side's fk column is also a useful candidate
+        # when the driven side is filtered (index nested-loop inners).
+        other_table, other_col = (
+            (right_table, join.right.column)
+            if driven_table == left_table
+            else (left_table, join.left.column)
+        )
+        other_schema = self.catalog.table(other_table).schema
+        if other_schema.has_column(other_col):
+            out.append(IndexDef(table=other_table, columns=(other_col,)))
+
+    def _from_output_expr(
+        self,
+        expr: ast.Expr,
+        binding_tables: Dict[str, str],
+        out: List[IndexDef],
+        grouping: bool,
+    ) -> None:
+        """GROUP/ORDER expression → candidate when it takes effect."""
+        if not isinstance(expr, ast.ColumnRef):
+            return
+        table = self._table_of(expr, binding_tables)
+        if table is None:
+            return
+        stats = self.catalog.stats(table)
+        col_stats = stats.column(expr.column)
+        if grouping and stats.row_count > 0:
+            # Grouping a unique column is a no-op (paper: "the columns
+            # in the GROUP clause are not distinct").
+            if col_stats.n_distinct >= max(stats.row_count, 1):
+                return
+        if col_stats.n_distinct <= 1:
+            return
+        out.append(IndexDef(table=table, columns=(expr.column,)))
+
+    # ------------------------------------------------------------------
+    # merging / filtering
+    # ------------------------------------------------------------------
+
+    def _merge_prefixes(
+        self, candidates: List[CandidateIndex]
+    ) -> List[CandidateIndex]:
+        """Leftmost-prefix merge: (a) is absorbed by (a, b)."""
+        survivors: List[CandidateIndex] = []
+        for candidate in sorted(
+            candidates, key=lambda c: -len(c.definition.columns)
+        ):
+            absorbed = False
+            for kept in survivors:
+                if candidate.definition.is_prefix_of(kept.definition):
+                    kept.merge_from(candidate)
+                    absorbed = True
+                    break
+            if not absorbed:
+                survivors.append(candidate)
+        return survivors
+
+    def _drop_existing(
+        self, candidates: List[CandidateIndex]
+    ) -> List[CandidateIndex]:
+        """Remove candidates subsumed by an already-built index."""
+        existing = [
+            ix.definition for ix in self.catalog.real_indexes()
+        ]
+        result = []
+        for candidate in candidates:
+            if any(
+                candidate.definition.is_prefix_of(built)
+                for built in existing
+            ):
+                continue
+            result.append(candidate)
+        result.sort(key=lambda c: -c.support)
+        return result
+
+    # ------------------------------------------------------------------
+    # name resolution helpers
+    # ------------------------------------------------------------------
+
+    def _binding_tables(self, select: ast.Select) -> Dict[str, str]:
+        """binding name → base table name (derived tables excluded)."""
+        bindings: Dict[str, str] = {}
+        for src in select.sources:
+            if isinstance(src, ast.TableRef) and self.catalog.has_table(
+                src.name
+            ):
+                bindings[src.binding] = src.name
+        return bindings
+
+    def _table_of(
+        self, ref: ast.ColumnRef, binding_tables: Dict[str, str]
+    ) -> Optional[str]:
+        if ref.table is not None:
+            return binding_tables.get(ref.table)
+        owners = [
+            table
+            for table in binding_tables.values()
+            if self.catalog.table(table).schema.has_column(ref.column)
+        ]
+        if len(owners) == 1:
+            return owners[0]
+        return None

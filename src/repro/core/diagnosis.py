@@ -1,0 +1,107 @@
+"""Index diagnosis (paper Section III, "Index Diagnosis").
+
+Monitors workload execution and classifies indexes into the paper's
+three problem classes:
+
+1. beneficial indexes that have not been created (high-support
+   candidates from current templates);
+2. rarely-used indexes (no lookups served over the observation
+   window);
+3. negative-benefit indexes (maintenance operations dwarf lookups —
+   the write-penalised indexes of Example 2).
+
+When the ratio of problematic indexes crosses a threshold — or the
+workload monitor reports a cost regression — an index tuning request
+is issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.core.candidates import CandidateGenerator, CandidateIndex
+from repro.core.templates import TemplateStore
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+
+
+@dataclass
+class IndexProblemReport:
+    """The classification the diagnosis module produces."""
+
+    missing_beneficial: List[IndexDef] = field(default_factory=list)
+    rarely_used: List[IndexDef] = field(default_factory=list)
+    negative: List[IndexDef] = field(default_factory=list)
+    considered: int = 0
+    regression: bool = False
+
+    @property
+    def problem_count(self) -> int:
+        return (
+            len(self.missing_beneficial)
+            + len(self.rarely_used)
+            + len(self.negative)
+        )
+
+    @property
+    def problem_ratio(self) -> float:
+        denominator = max(self.considered + len(self.missing_beneficial), 1)
+        return self.problem_count / denominator
+
+    def should_tune(self, threshold: float = 0.1) -> bool:
+        """The paper's trigger: problem ratio over threshold, or an
+        observed performance regression."""
+        return self.regression or self.problem_ratio > threshold
+
+
+class IndexDiagnosis:
+    """Classifies index problems from usage metrics and templates."""
+
+    def __init__(
+        self,
+        db: Database,
+        store: TemplateStore,
+        generator: CandidateGenerator,
+        min_observations: int = 50,
+        negative_maintenance_factor: float = 10.0,
+        min_candidate_support: float = 3.0,
+    ):
+        self.db = db
+        self.store = store
+        self.generator = generator
+        self.min_observations = min_observations
+        self.negative_maintenance_factor = negative_maintenance_factor
+        self.min_candidate_support = min_candidate_support
+
+    def diagnose(
+        self,
+        protected: Sequence[IndexDef] = (),
+        top_templates: int = 100,
+    ) -> IndexProblemReport:
+        """Produce the current problem report."""
+        report = IndexProblemReport(
+            regression=self.db.monitor.regression_detected()
+        )
+        protected_keys: Set = {d.key for d in protected}
+
+        if self.db.monitor.total_queries >= self.min_observations:
+            for usage in self.db.index_usage():
+                if usage.definition.key in protected_keys:
+                    continue
+                report.considered += 1
+                if usage.lookups == 0:
+                    report.rarely_used.append(usage.definition)
+                elif (
+                    usage.maintenance_ops
+                    > usage.lookups * self.negative_maintenance_factor
+                ):
+                    report.negative.append(usage.definition)
+
+        for candidate in self.generator.generate(
+            self.store.templates(top=top_templates)
+        ):
+            if candidate.support >= self.min_candidate_support:
+                report.missing_beneficial.append(candidate.definition)
+
+        return report

@@ -1,0 +1,344 @@
+"""Index benefit estimation (paper Section V).
+
+Three layers:
+
+* :class:`WhatIfCostModel` — the traditional baseline: static-weight
+  sum of the cost features (what plain optimizer-driven advisors use);
+* :class:`DeepIndexEstimator` — the paper's one-layer deep regression
+  ``cost(q) = sigmoid(W · C + b)`` trained on historical index
+  management data (feature vectors + measured execution costs), with
+  k-fold cross-validation (the paper uses 9-fold);
+* :class:`BenefitEstimator` — the facade MCTS talks to: caches
+  per-(template, relevant-config) query costs and aggregates them into
+  workload-level costs, weighting templates by matched frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import (
+    CostFeatures,
+    compute_features,
+    referenced_tables,
+)
+from repro.core.templates import QueryTemplate
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.sql import ast
+
+
+class WhatIfCostModel:
+    """Static-weight cost model: ``cost = C_data + C_io + C_cpu``."""
+
+    trained = True  # usable out of the box
+
+    def predict_one(self, features: CostFeatures) -> float:
+        return features.naive_total
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        # Columns: data, io, cpu, is_write, num_indexes.
+        return matrix[:, 0] + matrix[:, 1] + matrix[:, 2]
+
+
+@dataclass
+class TrainingMetrics:
+    """Fit diagnostics for the deep regression."""
+
+    mse: float
+    mean_q_error: float
+    samples: int
+
+
+class DeepIndexEstimator:
+    """One-layer sigmoid regression over the Section V cost features.
+
+    ``cost(q) = sigmoid(W · C + b) * y_scale`` with standardized
+    features. Weights are learned with full-batch gradient descent on
+    MSE — deliberately the paper's "one-layer deep regression", not a
+    deeper network.
+    """
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 400,
+                 seed: int = 1):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_std: Optional[np.ndarray] = None
+        self._y_scale: float = 1.0
+        self.trained = False
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> TrainingMetrics:
+        """Train on feature matrix ``X`` and measured costs ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ValueError("need a non-empty aligned training set")
+
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0)
+        self._x_std[self._x_std < 1e-12] = 1.0
+        Xn = (X - self._x_mean) / self._x_std
+        # Scale targets into sigmoid range with headroom.
+        self._y_scale = max(float(y.max()) * 1.25, 1e-9)
+        yn = y / self._y_scale
+
+        rng = np.random.default_rng(self.seed)
+        w = rng.normal(scale=0.1, size=X.shape[1])
+        b = 0.0
+        n = len(y)
+        for _ in range(self.epochs):
+            z = Xn @ w + b
+            pred = _sigmoid(z)
+            err = pred - yn
+            grad_z = err * pred * (1.0 - pred)
+            grad_w = Xn.T @ grad_z / n
+            grad_b = float(grad_z.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weights = w
+        self.bias = b
+        self.trained = True
+
+        pred = self.predict(X)
+        mse = float(np.mean((pred - y) ** 2))
+        return TrainingMetrics(
+            mse=mse, mean_q_error=_mean_q_error(pred, y), samples=n
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict costs for a feature matrix (requires a prior fit)."""
+        if not self.trained:
+            raise RuntimeError("estimator is not trained")
+        X = np.asarray(X, dtype=float)
+        Xn = (X - self._x_mean) / self._x_std
+        return _sigmoid(Xn @ self.weights + self.bias) * self._y_scale
+
+    def predict_one(self, features: CostFeatures) -> float:
+        """Predict the cost of a single feature vector."""
+        return float(self.predict(features.as_array()[None, :])[0])
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist trained weights to an ``.npz`` file."""
+        if not self.trained:
+            raise RuntimeError("cannot save an untrained estimator")
+        np.savez(
+            path,
+            weights=self.weights,
+            bias=np.array([self.bias]),
+            x_mean=self._x_mean,
+            x_std=self._x_std,
+            y_scale=np.array([self._y_scale]),
+        )
+
+    @classmethod
+    def load(cls, path) -> "DeepIndexEstimator":
+        """Restore an estimator saved with :meth:`save`."""
+        data = np.load(path)
+        model = cls()
+        model.weights = data["weights"]
+        model.bias = float(data["bias"][0])
+        model._x_mean = data["x_mean"]
+        model._x_std = data["x_std"]
+        model._y_scale = float(data["y_scale"][0])
+        model.trained = True
+        return model
+
+    # -- evaluation -----------------------------------------------------------
+
+    def cross_validate(
+        self, X: np.ndarray, y: np.ndarray, folds: int = 9
+    ) -> List[TrainingMetrics]:
+        """K-fold CV (paper: 9-fold); returns held-out metrics per fold."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n = len(y)
+        folds = min(folds, n)
+        if folds < 2:
+            raise ValueError("need at least 2 folds / samples")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n)
+        metrics: List[TrainingMetrics] = []
+        for k in range(folds):
+            test_idx = order[k::folds]
+            train_mask = np.ones(n, dtype=bool)
+            train_mask[test_idx] = False
+            model = DeepIndexEstimator(
+                learning_rate=self.learning_rate,
+                epochs=self.epochs,
+                seed=self.seed + k,
+            )
+            model.fit(X[train_mask], y[train_mask])
+            pred = model.predict(X[test_idx])
+            metrics.append(
+                TrainingMetrics(
+                    mse=float(np.mean((pred - y[test_idx]) ** 2)),
+                    mean_q_error=_mean_q_error(pred, y[test_idx]),
+                    samples=len(test_idx),
+                )
+            )
+        return metrics
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+
+def _mean_q_error(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Mean q-error (max(p/t, t/p)), the standard estimator metric."""
+    p = np.maximum(np.asarray(pred, dtype=float), 1e-9)
+    t = np.maximum(np.asarray(truth, dtype=float), 1e-9)
+    return float(np.mean(np.maximum(p / t, t / p)))
+
+
+# ---------------------------------------------------------------------------
+# workload-level facade
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HistorySample:
+    """One observed execution: features + measured cost."""
+
+    features: CostFeatures
+    actual_cost: float
+
+
+class BenefitEstimator:
+    """Workload-level index benefit estimation with caching.
+
+    ``workload_cost(templates, config)`` sums frequency-weighted
+    per-template costs. Per-query costs are cached on the subset of
+    the configuration touching the statement's tables, so MCTS rollouts
+    that differ only in irrelevant indexes hit the cache.
+    """
+
+    def __init__(self, db: Database, model=None):
+        self.db = db
+        self.model = model if model is not None else WhatIfCostModel()
+        self.history: List[HistorySample] = []
+        self._cache: Dict[Tuple, float] = {}
+        self._tables_cache: Dict[str, Tuple[str, ...]] = {}
+        self._sample_cache: Dict[str, ast.Statement] = {}
+        self.estimate_calls = 0  # tuning-overhead accounting
+
+    # -- estimation --------------------------------------------------------------
+
+    def query_cost(
+        self,
+        template: QueryTemplate,
+        config: Sequence[IndexDef],
+    ) -> float:
+        """Estimated execution cost of one template instance.
+
+        Estimation uses the template's most recent *concrete* instance
+        (real literals → real selectivities) when one is available;
+        the placeholder form (unknown-value selectivities) is the
+        fallback.
+        """
+        key = self._cache_key(template, config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.estimate_calls += 1
+        statement = self._representative(template)
+        features = compute_features(self.db, statement, list(config))
+        cost = float(self.model.predict_one(features))
+        self._cache[key] = cost
+        return cost
+
+    def _representative(self, template: QueryTemplate) -> ast.Statement:
+        """A concrete statement standing in for the template."""
+        if not template.sample_sql:
+            return template.statement
+        cached = self._sample_cache.get(template.fingerprint)
+        if cached is None:
+            try:
+                cached = self.db.parse_statement(template.sample_sql)
+            except Exception:
+                cached = template.statement
+            self._sample_cache[template.fingerprint] = cached
+        return cached
+
+    def workload_cost(
+        self,
+        templates: Sequence[QueryTemplate],
+        config: Sequence[IndexDef],
+    ) -> float:
+        """Frequency-weighted total workload cost under ``config``."""
+        total = 0.0
+        for template in templates:
+            weight = max(template.weight, 0.1)
+            total += weight * self.query_cost(template, config)
+        return total
+
+    def benefit(
+        self,
+        templates: Sequence[QueryTemplate],
+        baseline_config: Sequence[IndexDef],
+        config: Sequence[IndexDef],
+    ) -> float:
+        """``B = cost(W, baseline) - cost(W, config)`` (Section II-A)."""
+        return self.workload_cost(templates, baseline_config) - (
+            self.workload_cost(templates, config)
+        )
+
+    def _cache_key(
+        self, template: QueryTemplate, config: Sequence[IndexDef]
+    ) -> Tuple:
+        tables = self._tables_cache.get(template.fingerprint)
+        if tables is None:
+            tables = referenced_tables(template.statement)
+            self._tables_cache[template.fingerprint] = tables
+        table_set = set(tables)
+        relevant = tuple(
+            sorted(d.key for d in config if d.table in table_set)
+        )
+        return (template.fingerprint, relevant)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # -- learning ------------------------------------------------------------------
+
+    def record_execution(
+        self,
+        statement: ast.Statement,
+        actual_cost: float,
+        config: Optional[Sequence[IndexDef]] = None,
+    ) -> None:
+        """Log one (features, measured cost) pair for later training."""
+        features = compute_features(self.db, statement, config)
+        self.history.append(
+            HistorySample(features=features, actual_cost=actual_cost)
+        )
+
+    def training_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.history:
+            raise RuntimeError("no execution history recorded")
+        X = np.stack([s.features.as_array() for s in self.history])
+        y = np.array([s.actual_cost for s in self.history])
+        return X, y
+
+    def train(self) -> TrainingMetrics:
+        """Fit the deep regression on the recorded history.
+
+        Replaces a static :class:`WhatIfCostModel` with a trained
+        :class:`DeepIndexEstimator` and clears the prediction cache.
+        """
+        X, y = self.training_matrix()
+        if not isinstance(self.model, DeepIndexEstimator):
+            self.model = DeepIndexEstimator()
+        metrics = self.model.fit(X, y)
+        self.clear_cache()
+        return metrics

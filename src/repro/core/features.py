@@ -1,0 +1,158 @@
+"""Cost features for the index benefit estimator (paper Section V).
+
+For one statement under one index configuration we compute:
+
+* ``data_cost`` — the optimizer's data-processing cost (plan cost
+  minus any maintenance charge), the paper's ``C_data``;
+* ``io_cost`` — index maintenance IO, ``C_io = |pages| *
+  seq_page_cost`` amortized per modified row;
+* ``cpu_cost`` — index maintenance CPU, ``C_cpu = t_start +
+  t_running``;
+* ``is_write`` / ``num_affected_indexes`` — auxiliary features that
+  help the regression separate the regimes.
+
+All features are what-if quantities: nothing is executed, hypothetical
+indexes are costed from estimated B+Tree shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.plan import DeletePlan, InsertPlan, PlanNode, UpdatePlan
+from repro.sql import ast
+
+FEATURE_NAMES = (
+    "data_cost",
+    "io_cost",
+    "cpu_cost",
+    "is_write",
+    "num_affected_indexes",
+)
+NUM_FEATURES = len(FEATURE_NAMES)
+
+
+@dataclass(frozen=True)
+class CostFeatures:
+    """The Section V feature vector for one (statement, config) pair."""
+
+    data_cost: float
+    io_cost: float
+    cpu_cost: float
+    is_write: bool
+    num_affected_indexes: int
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            [
+                self.data_cost,
+                self.io_cost,
+                self.cpu_cost,
+                1.0 if self.is_write else 0.0,
+                float(self.num_affected_indexes),
+            ],
+            dtype=float,
+        )
+
+    @property
+    def naive_total(self) -> float:
+        """The traditional static-weight cost: plain sum of features.
+
+        This is the baseline model the paper's learned regression
+        replaces (Section V-B: "traditional methods simply sum up
+        those costs based on static weights").
+        """
+        return self.data_cost + self.io_cost + self.cpu_cost
+
+
+def compute_features(
+    db: Database,
+    statement: ast.Statement,
+    config: Optional[Sequence[IndexDef]] = None,
+) -> CostFeatures:
+    """Compute the feature vector for ``statement`` under ``config``."""
+    est_cost, plan = db.estimate_cost(statement, config)
+    io, cpu, affected = _maintenance_of_plan(db, plan, config)
+    data = max(est_cost - io - cpu, 0.0)
+    return CostFeatures(
+        data_cost=data,
+        io_cost=io,
+        cpu_cost=cpu,
+        is_write=isinstance(plan, (InsertPlan, UpdatePlan, DeletePlan)),
+        num_affected_indexes=affected,
+    )
+
+
+def _maintenance_of_plan(
+    db: Database,
+    plan: PlanNode,
+    config: Optional[Sequence[IndexDef]],
+) -> Tuple[float, float, int]:
+    """Maintenance (io, cpu, #affected_indexes) charged by a write plan."""
+    if isinstance(plan, InsertPlan):
+        table = plan.table
+        changed: Optional[Set[str]] = None
+        rows = max(plan.est_rows, 1.0)
+    elif isinstance(plan, UpdatePlan):
+        table = plan.table
+        changed = {a.column for a in plan.assignments}
+        rows = max(plan.est_rows, 0.0)
+    else:
+        return 0.0, 0.0, 0
+    affected = _affected_indexes(db, table, changed, config)
+    if not affected:
+        return 0.0, 0.0, 0
+    _with_whatif(db, config)
+    try:
+        io, cpu = db.planner.maintenance_components_per_row(table, changed)
+    finally:
+        if config is not None:
+            db.catalog.clear_whatif()
+    return io * rows, cpu * rows, len(affected)
+
+
+def _affected_indexes(
+    db: Database,
+    table: str,
+    changed: Optional[Set[str]],
+    config: Optional[Sequence[IndexDef]],
+) -> List[IndexDef]:
+    if config is None:
+        defs = [
+            ix.definition
+            for ix in db.catalog.real_indexes(table)
+        ]
+    else:
+        defs = [d for d in config if d.table == table]
+    if changed is None:
+        return defs
+    return [d for d in defs if set(d.columns) & changed]
+
+
+def _with_whatif(
+    db: Database, config: Optional[Sequence[IndexDef]]
+) -> None:
+    if config is None:
+        return
+    real = {d.key: d for d in db.catalog.real_index_defs()}
+    wanted = {d.key: d for d in config}
+    hypothetical = [d for key, d in wanted.items() if key not in real]
+    masked = [d for key, d in real.items() if key not in wanted]
+    db.catalog.set_whatif(hypothetical, masked)
+
+
+def referenced_tables(statement: ast.Statement) -> Tuple[str, ...]:
+    """Base tables a statement touches (for estimator cache keys)."""
+    tables: List[str] = []
+    for node in ast.walk(statement):
+        if isinstance(node, ast.TableRef):
+            tables.append(node.name)
+    direct = getattr(statement, "table", None)
+    if isinstance(direct, str):
+        tables.append(direct)
+    return tuple(sorted(set(tables)))

@@ -1,0 +1,235 @@
+"""SQL2Template: bounded template store with LRU retention and decay.
+
+Section IV-A step 1 and Section IV-C of the paper:
+
+* every incoming query is normalised (literals → placeholders) and
+  matched against the template store by fingerprint; unmatched queries
+  become new templates;
+* the store is capacity-bounded (the paper keeps e.g. 5000 for TPC-C)
+  and evicts the least-frequently-matched templates;
+* under workload drift (most templates going cold), frequencies are
+  multiplied by a decay factor, cold templates are dropped, and recent
+  templates dominate — the paper's incremental template update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sql import ast, parse
+from repro.sql.fingerprint import parameterize
+
+
+@dataclass
+class QueryTemplate:
+    """One access pattern: a parameterized statement plus usage stats."""
+
+    fingerprint: str
+    statement: ast.Statement  # placeholder form
+    frequency: float = 0.0          # lifetime matches (decayed on drift)
+    window_frequency: float = 0.0   # matches since the last tuning round
+    last_seen: int = 0
+    sample_sql: str = ""  # most recent concrete instance
+    is_write: bool = False
+
+    @property
+    def weight(self) -> float:
+        """Estimation weight: the *recent* workload dominates.
+
+        Incremental index management optimises the future workload
+        (Definition 2), which the most recent window predicts best;
+        lifetime frequency contributes a small prior so stable
+        templates never drop to zero between rounds.
+        """
+        return self.window_frequency + 0.1 * self.frequency
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """Tables referenced by the template (for candidate scoping)."""
+        names: List[str] = []
+        for node in ast.walk(self.statement):
+            if isinstance(node, ast.TableRef):
+                names.append(node.name)
+        for attr in ("table",):
+            value = getattr(self.statement, attr, None)
+            if isinstance(value, str):
+                names.append(value)
+        return tuple(dict.fromkeys(names))
+
+
+class TemplateStore:
+    """Capacity-bounded store of query templates.
+
+    ``capacity`` bounds the number of retained templates;
+    ``decay_factor`` and ``cold_threshold`` implement the drift
+    handling of Section IV-C.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 5000,
+        decay_factor: float = 0.5,
+        cold_threshold: float = 1.0,
+        drift_window: int = 200,
+        drift_miss_ratio: float = 0.6,
+    ):
+        self.capacity = capacity
+        self.decay_factor = decay_factor
+        self.cold_threshold = cold_threshold
+        self.drift_window = drift_window
+        self.drift_miss_ratio = drift_miss_ratio
+        self._templates: Dict[str, QueryTemplate] = {}
+        self._clock = 0
+        self._window_arrivals = 0
+        self._window_misses = 0
+        self.total_observed = 0
+        self.total_new_templates = 0
+
+    # -- observation ------------------------------------------------------------
+
+    def observe(self, sql: str, statement: Optional[ast.Statement] = None
+                ) -> QueryTemplate:
+        """Match one query against the store (creating if new)."""
+        if statement is None:
+            statement = parse(sql)
+        parameterized = parameterize(statement)
+        fingerprint = parameterized.fingerprint
+        self._clock += 1
+        self.total_observed += 1
+        self._window_arrivals += 1
+
+        template = self._templates.get(fingerprint)
+        if template is None:
+            self._window_misses += 1
+            self.total_new_templates += 1
+            template = QueryTemplate(
+                fingerprint=fingerprint,
+                statement=parameterized.statement,
+                is_write=ast.is_write(statement),
+            )
+            self._templates[fingerprint] = template
+            if len(self._templates) > self.capacity:
+                self._evict()
+        template.frequency += 1.0
+        template.window_frequency += 1.0
+        template.last_seen = self._clock
+        template.sample_sql = sql
+        return template
+
+    def _evict(self) -> None:
+        """Drop the least-frequently / least-recently matched template."""
+        victim = min(
+            self._templates.values(),
+            key=lambda t: (t.frequency, t.last_seen),
+        )
+        del self._templates[victim.fingerprint]
+
+    # -- drift handling ------------------------------------------------------------
+
+    def drift_detected(self) -> bool:
+        """True when most recent arrivals missed existing templates."""
+        if self._window_arrivals < self.drift_window:
+            return False
+        return (
+            self._window_misses / self._window_arrivals
+            >= self.drift_miss_ratio
+        )
+
+    def handle_drift(self) -> int:
+        """Decay all frequencies and drop cold templates.
+
+        Returns the number of templates removed. Call when
+        :meth:`drift_detected` fires (the advisor does this).
+        """
+        removed = 0
+        for fingerprint in list(self._templates):
+            template = self._templates[fingerprint]
+            template.frequency *= self.decay_factor
+            if template.frequency < self.cold_threshold:
+                del self._templates[fingerprint]
+                removed += 1
+        self._window_arrivals = 0
+        self._window_misses = 0
+        return removed
+
+    def reset_window(self) -> None:
+        self._window_arrivals = 0
+        self._window_misses = 0
+
+    def begin_tuning_window(self) -> None:
+        """Start a fresh observation window (after a tuning round)."""
+        for template in self._templates.values():
+            template.window_frequency = 0.0
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serializable snapshot of the store (template bodies are
+        reconstructed from their sample SQL on load)."""
+        return {
+            "capacity": self.capacity,
+            "decay_factor": self.decay_factor,
+            "cold_threshold": self.cold_threshold,
+            "clock": self._clock,
+            "templates": [
+                {
+                    "fingerprint": t.fingerprint,
+                    "frequency": t.frequency,
+                    "window_frequency": t.window_frequency,
+                    "last_seen": t.last_seen,
+                    "sample_sql": t.sample_sql,
+                    "is_write": t.is_write,
+                }
+                for t in self._templates.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TemplateStore":
+        """Rebuild a store saved with :meth:`to_dict`.
+
+        Statements are re-parsed from each template's fingerprint
+        (the fingerprint is itself valid, placeholder-bearing SQL).
+        """
+        store = cls(
+            capacity=data.get("capacity", 5000),
+            decay_factor=data.get("decay_factor", 0.5),
+            cold_threshold=data.get("cold_threshold", 1.0),
+        )
+        store._clock = data.get("clock", 0)
+        for entry in data.get("templates", []):
+            statement = parse(entry["fingerprint"])
+            template = QueryTemplate(
+                fingerprint=entry["fingerprint"],
+                statement=statement,
+                frequency=entry.get("frequency", 0.0),
+                window_frequency=entry.get("window_frequency", 0.0),
+                last_seen=entry.get("last_seen", 0),
+                sample_sql=entry.get("sample_sql", ""),
+                is_write=entry.get("is_write", False),
+            )
+            store._templates[template.fingerprint] = template
+        return store
+
+    # -- access ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._templates
+
+    def get(self, fingerprint: str) -> Optional[QueryTemplate]:
+        return self._templates.get(fingerprint)
+
+    def templates(self, top: Optional[int] = None) -> List[QueryTemplate]:
+        """Templates sorted by descending frequency."""
+        ordered = sorted(
+            self._templates.values(),
+            key=lambda t: (-t.frequency, -t.last_seen),
+        )
+        return ordered if top is None else ordered[:top]
+
+    def total_frequency(self) -> float:
+        return sum(t.frequency for t in self._templates.values())

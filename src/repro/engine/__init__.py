@@ -1,0 +1,24 @@
+"""Relational engine substrate.
+
+A from-scratch, pure-Python stand-in for the openGauss kernel the paper
+deploys on: heap storage with page layout, real B+Tree secondary
+indexes, ANALYZE statistics, a cost-based planner, and an executor that
+counts page and tuple work so workload "latency" is deterministic.
+"""
+
+from repro.engine.cost import CostParams, CostTracker
+from repro.engine.database import Database, ExecutionResult
+from repro.engine.index import IndexDef, IndexScope
+from repro.engine.schema import Column, ColumnType, TableSchema
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "CostParams",
+    "CostTracker",
+    "Database",
+    "ExecutionResult",
+    "IndexDef",
+    "IndexScope",
+    "TableSchema",
+]

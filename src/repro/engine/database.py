@@ -1,0 +1,419 @@
+"""The Database facade: DDL, DML, what-if costing, and monitoring.
+
+This is the substrate's public surface. It stands in for the openGauss
+instance the paper deploys AutoIndex against:
+
+* ``execute(sql)`` parses, plans, and runs a statement, returning rows
+  plus the deterministic execution cost;
+* ``create_index`` / ``drop_index`` materialise real B+Trees;
+* ``estimate_cost(sql, config)`` is the hypopg-style what-if API —
+  cost a statement under an arbitrary index configuration without
+  building anything;
+* per-index usage metrics and a workload monitor feed AutoIndex's
+  diagnosis module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.catalog import Catalog
+from repro.engine.cost import CostParams, CostTracker, DEFAULT_PARAMS
+from repro.engine.executor import Executor
+from repro.engine.index import Index, IndexDef
+from repro.engine.metrics import IndexUsage, QueryRecord, WorkloadMonitor
+from repro.engine.plan import (
+    DeletePlan,
+    InsertPlan,
+    PlanNode,
+    UpdatePlan,
+    indexes_used,
+)
+from repro.engine.planner import Planner, PlanningError
+from repro.engine.schema import TableSchema
+from repro.engine.stats import analyze_table
+from repro.sql import ast, parse
+from repro.sql.fingerprint import fingerprint
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one executed statement."""
+
+    rows: List[Tuple[object, ...]] = field(default_factory=list)
+    rowcount: int = 0
+    cost: float = 0.0
+    tracker: CostTracker = field(default_factory=CostTracker)
+    plan: Optional[PlanNode] = None
+
+    @property
+    def scalar(self) -> object:
+        """First column of the first row (for aggregate lookups)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+
+class Database:
+    """An in-process relational database with cost instrumentation."""
+
+    def __init__(self, params: CostParams = DEFAULT_PARAMS):
+        self.params = params
+        self.catalog = Catalog()
+        self.planner = Planner(self.catalog, params)
+        self.monitor = WorkloadMonitor()
+        self._statement_cache: Dict[str, ast.Statement] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        """Create a table; its primary key gets a unique index."""
+        self.catalog.add_table(schema)
+        if schema.primary_key:
+            self.create_index(
+                IndexDef(
+                    table=schema.name,
+                    columns=tuple(schema.primary_key),
+                    name=f"pk_{schema.name}",
+                    unique=True,
+                )
+            )
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def create_index(self, definition: IndexDef) -> Index:
+        """Materialise an index (bulk-built from current table data)."""
+        entry = self.catalog.table(definition.table)
+        index = Index(definition, entry.schema)
+        index.build(list(entry.heap.scan()))
+        self.catalog.add_index(index)
+        return index
+
+    def drop_index(self, definition: IndexDef) -> None:
+        self.catalog.drop_index(definition)
+
+    def has_index(self, definition: IndexDef) -> bool:
+        return self.catalog.get_index(definition) is not None
+
+    def index_defs(self) -> List[IndexDef]:
+        return self.catalog.real_index_defs()
+
+    # ------------------------------------------------------------------
+    # bulk loading & stats
+    # ------------------------------------------------------------------
+
+    def load_rows(
+        self, table: str, rows: Iterable[Tuple[object, ...]]
+    ) -> int:
+        """Bulk-load rows without cost accounting (initial data load).
+
+        Existing indexes are rebuilt afterwards (bulk load), matching
+        how real systems load then index.
+        """
+        entry = self.catalog.table(table)
+        count = 0
+        for row in rows:
+            entry.heap.insert(row)
+            count += 1
+        contents = list(entry.heap.scan())
+        for index in entry.indexes.values():
+            index.build(contents)
+        return count
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Recompute statistics (ANALYZE) for one table or all."""
+        names = [table] if table else self.catalog.table_names()
+        for name in names:
+            entry = self.catalog.table(name)
+            rows = [row for _rid, row in entry.heap.scan()]
+            entry.stats = analyze_table(rows, entry.schema.column_names)
+
+    def table_row_count(self, table: str) -> int:
+        return self.catalog.table(table).heap.row_count
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def parse_statement(self, sql: str) -> ast.Statement:
+        cached = self._statement_cache.get(sql)
+        if cached is None:
+            cached = parse(sql)
+            if len(self._statement_cache) < 50000:
+                self._statement_cache[sql] = cached
+        return cached
+
+    def execute(
+        self, statement: Union[str, ast.Statement]
+    ) -> ExecutionResult:
+        """Parse, plan, execute, and meter one statement."""
+        if isinstance(statement, str):
+            statement = self.parse_statement(statement)
+        tracker = CostTracker()
+        statement = self._inline_subqueries(statement, tracker)
+        plan = self.planner.plan(statement)
+        executor = Executor(self.catalog, self.params, tracker)
+
+        result = ExecutionResult(plan=plan, tracker=tracker)
+        if isinstance(plan, InsertPlan):
+            result.rowcount = executor.run_insert(plan)
+        elif isinstance(plan, UpdatePlan):
+            result.rowcount = executor.run_update(plan)
+        elif isinstance(plan, DeletePlan):
+            result.rowcount = executor.run_delete(plan)
+        else:
+            result.rows = executor.run_select(plan)
+            result.rowcount = len(result.rows)
+        result.cost = tracker.total(self.params)
+
+        self.monitor.record(
+            QueryRecord(
+                fingerprint=fingerprint(statement),
+                cost=result.cost,
+                is_write=ast.is_write(statement),
+                indexes_used=tuple(indexes_used(plan)),
+            )
+        )
+        return result
+
+    def explain(self, sql: str) -> str:
+        """Plan a statement and render the plan tree."""
+        statement = self.parse_statement(sql)
+        statement = self._inline_subqueries(statement, CostTracker())
+        return self.planner.plan(statement).explain()
+
+    def explain_analyze(self, sql: str) -> str:
+        """Plan *and execute* a statement; render the plan tree with
+        the optimizer estimate next to the measured execution cost.
+
+        The estimate/actual gap is exactly what the paper's learned
+        estimator corrects for, so this is the first tool to reach for
+        when a recommendation looks off.
+        """
+        result = self.execute(sql)
+        assert result.plan is not None
+        lines = [result.plan.explain()]
+        lines.append(
+            f"estimated cost: {result.plan.est_cost:.2f}   "
+            f"actual cost: {result.cost:.2f}   "
+            f"rows: {result.rowcount}"
+        )
+        tracker = result.tracker
+        lines.append(
+            "work: "
+            f"seq_pages={tracker.seq_pages:.0f} "
+            f"random_pages={tracker.random_pages:.0f} "
+            f"heap_tuples={tracker.heap_tuples:.0f} "
+            f"index_tuples={tracker.index_tuples:.0f} "
+            f"operator_ops={tracker.operator_ops:.0f}"
+        )
+        return "\n".join(lines)
+
+    def _inline_subqueries(
+        self, statement: ast.Statement, tracker: CostTracker
+    ) -> ast.Statement:
+        """Execute uncorrelated WHERE subqueries and inline results.
+
+        ``IN (SELECT ...)`` becomes an IN-list; scalar subqueries
+        become literals. Derived tables in FROM are left for the
+        planner (SubqueryScanPlan).
+        """
+        if isinstance(statement, ast.Select):
+            if statement.where is None:
+                return statement
+            rewritten = self._inline_expr(statement.where, tracker)
+            if rewritten is statement.where:
+                return statement
+            return ast.Select(
+                items=statement.items,
+                sources=statement.sources,
+                where=rewritten,
+                group_by=statement.group_by,
+                having=statement.having,
+                order_by=statement.order_by,
+                limit=statement.limit,
+                distinct=statement.distinct,
+            )
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            where = getattr(statement, "where", None)
+            if where is None:
+                return statement
+            rewritten = self._inline_expr(where, tracker)
+            if rewritten is where:
+                return statement
+            if isinstance(statement, ast.Update):
+                return ast.Update(
+                    table=statement.table,
+                    assignments=statement.assignments,
+                    where=rewritten,
+                )
+            return ast.Delete(table=statement.table, where=rewritten)
+        return statement
+
+    def _inline_expr(self, expr: ast.Expr, tracker: CostTracker) -> ast.Expr:
+        if isinstance(expr, ast.InSubquery):
+            values = self._run_subquery(expr.select, tracker)
+            items = tuple(
+                ast.Literal(value=v[0]) for v in values if v and v[0] is not None
+            )
+            if not items:
+                items = (ast.Literal(value=None),)
+            return ast.InList(expr=expr.expr, items=items)
+        if isinstance(expr, ast.ScalarSubquery):
+            values = self._run_subquery(expr.select, tracker)
+            scalar = values[0][0] if values else None
+            return ast.Literal(value=scalar)
+        if isinstance(expr, ast.And):
+            return ast.And(
+                items=tuple(self._inline_expr(i, tracker) for i in expr.items)
+            )
+        if isinstance(expr, ast.Or):
+            return ast.Or(
+                items=tuple(self._inline_expr(i, tracker) for i in expr.items)
+            )
+        if isinstance(expr, ast.Not):
+            return ast.Not(child=self._inline_expr(expr.child, tracker))
+        if isinstance(expr, ast.Comparison):
+            return ast.Comparison(
+                op=expr.op,
+                left=self._inline_expr(expr.left, tracker),
+                right=self._inline_expr(expr.right, tracker),
+            )
+        if isinstance(expr, ast.Arith):
+            return ast.Arith(
+                op=expr.op,
+                left=self._inline_expr(expr.left, tracker),
+                right=self._inline_expr(expr.right, tracker),
+            )
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                expr=self._inline_expr(expr.expr, tracker),
+                low=self._inline_expr(expr.low, tracker),
+                high=self._inline_expr(expr.high, tracker),
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                expr=self._inline_expr(expr.expr, tracker),
+                items=tuple(
+                    self._inline_expr(i, tracker) for i in expr.items
+                ),
+            )
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(
+                name=expr.name,
+                args=tuple(
+                    self._inline_expr(a, tracker) for a in expr.args
+                ),
+                distinct=expr.distinct,
+            )
+        return expr
+
+    def _run_subquery(
+        self, select: ast.Select, tracker: CostTracker
+    ) -> List[Tuple[object, ...]]:
+        plan = self.planner.plan(select)
+        executor = Executor(self.catalog, self.params, tracker)
+        return executor.run_select(plan)
+
+    # ------------------------------------------------------------------
+    # what-if costing (hypopg-style)
+    # ------------------------------------------------------------------
+
+    def estimate_cost(
+        self,
+        statement: Union[str, ast.Statement],
+        config: Optional[Sequence[IndexDef]] = None,
+    ) -> Tuple[float, PlanNode]:
+        """Optimizer cost of a statement under an index configuration.
+
+        ``config`` is the complete index set to assume (real indexes
+        not in the config are masked; config entries not built are
+        added hypothetically). ``None`` means the current real set.
+        Nothing is executed.
+        """
+        if isinstance(statement, str):
+            statement = self.parse_statement(statement)
+        statement = self._strip_placeholders(statement)
+        if config is not None:
+            real = {d.key: d for d in self.catalog.real_index_defs()}
+            wanted = {d.key: d for d in config}
+            hypothetical = [
+                d for key, d in wanted.items() if key not in real
+            ]
+            masked = [d for key, d in real.items() if key not in wanted]
+            self.catalog.set_whatif(hypothetical, masked)
+        try:
+            plan = self.planner.plan(statement)
+        finally:
+            if config is not None:
+                self.catalog.clear_whatif()
+        return plan.est_cost, plan
+
+    def _strip_placeholders(self, statement: ast.Statement) -> ast.Statement:
+        """Make templated statements plannable by nulling placeholders.
+
+        Cost estimation on query *templates* (SQL2Template output) uses
+        unknown-value selectivities; placeholders become NULL literals,
+        which the stats layer treats as "value unknown".
+        """
+        from repro.sql.fingerprint import _Parameterizer  # reuse walker
+
+        class _Strip(_Parameterizer):
+            def expr(self, node: ast.Expr) -> ast.Expr:  # type: ignore[override]
+                if isinstance(node, ast.Placeholder):
+                    return ast.Literal(value=None)
+                if isinstance(node, ast.Literal):
+                    return node
+                return super().expr(node)
+
+        stripper = _Strip()
+        if isinstance(statement, ast.Select):
+            return stripper.select(statement)
+        if isinstance(statement, ast.Insert):
+            rows = tuple(
+                tuple(
+                    ast.Literal(value=None)
+                    if isinstance(v, ast.Placeholder)
+                    else v
+                    for v in row
+                )
+                for row in statement.rows
+            )
+            return ast.Insert(
+                table=statement.table, columns=statement.columns, rows=rows
+            )
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            return stripper.statement(statement)
+        return statement
+
+    # ------------------------------------------------------------------
+    # sizes & metrics
+    # ------------------------------------------------------------------
+
+    def index_size_bytes(self, definition: IndexDef) -> int:
+        """Size of an index — real bytes if built, estimated otherwise."""
+        return self.catalog.index_shape(definition).byte_size
+
+    def total_index_bytes(self) -> int:
+        return self.catalog.total_index_bytes()
+
+    def index_usage(self) -> List[IndexUsage]:
+        """Current usage counters for every materialised index."""
+        return [
+            IndexUsage(
+                definition=ix.definition,
+                lookups=ix.lookup_count,
+                maintenance_ops=ix.maintenance_count,
+                byte_size=ix.byte_size,
+            )
+            for ix in self.catalog.real_indexes()
+        ]
+
+    def reset_index_usage(self) -> None:
+        for ix in self.catalog.real_indexes():
+            ix.lookup_count = 0
+            ix.maintenance_count = 0

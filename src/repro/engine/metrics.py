@@ -1,0 +1,93 @@
+"""Workload execution metrics and index usage accounting.
+
+Feeds the paper's *Index Diagnosis* module: per-index usage counters
+(how often an index served a scan vs how often it had to be
+maintained) and a rolling view of workload cost used to detect
+performance regression.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.engine.index import IndexDef
+
+
+@dataclass
+class IndexUsage:
+    """Usage counters for one index over an observation window."""
+
+    definition: IndexDef
+    lookups: int = 0
+    maintenance_ops: int = 0
+    byte_size: int = 0
+
+    @property
+    def is_rarely_used(self) -> bool:
+        return self.lookups == 0
+
+    def maintenance_ratio(self) -> float:
+        """Maintenance ops per lookup (high = write-dominated index)."""
+        return self.maintenance_ops / max(self.lookups, 1)
+
+
+@dataclass
+class QueryRecord:
+    """One executed query: its cost and the indexes its plan used."""
+
+    fingerprint: str
+    cost: float
+    is_write: bool
+    indexes_used: Tuple[IndexDef, ...] = ()
+
+
+class WorkloadMonitor:
+    """Rolling record of executed queries for regression detection.
+
+    The paper's diagnosis module "monitors the system metrics during
+    workload execution" and fires when it "detects abnormal status
+    (e.g. performance regression)". We keep two adjacent windows of
+    per-query cost and compare their means.
+    """
+
+    def __init__(self, window: int = 200, regression_factor: float = 1.25):
+        self.window = window
+        self.regression_factor = regression_factor
+        self._recent: Deque[QueryRecord] = deque(maxlen=window)
+        self._previous: Deque[QueryRecord] = deque(maxlen=window)
+        self.total_queries = 0
+        self.total_cost = 0.0
+
+    def record(self, record: QueryRecord) -> None:
+        """Append one executed query to the rolling windows."""
+        if len(self._recent) == self._recent.maxlen:
+            self._previous.append(self._recent.popleft())
+        self._recent.append(record)
+        self.total_queries += 1
+        self.total_cost += record.cost
+
+    def mean_recent_cost(self) -> float:
+        if not self._recent:
+            return 0.0
+        return sum(r.cost for r in self._recent) / len(self._recent)
+
+    def mean_previous_cost(self) -> float:
+        if not self._previous:
+            return 0.0
+        return sum(r.cost for r in self._previous) / len(self._previous)
+
+    def regression_detected(self) -> bool:
+        """True when recent mean cost exceeds the previous window's."""
+        prev = self.mean_previous_cost()
+        if prev <= 0 or len(self._previous) < self.window // 2:
+            return False
+        return self.mean_recent_cost() > prev * self.regression_factor
+
+    def recent_records(self) -> List[QueryRecord]:
+        return list(self._recent)
+
+    def reset_windows(self) -> None:
+        self._recent.clear()
+        self._previous.clear()

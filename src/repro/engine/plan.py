@@ -1,0 +1,292 @@
+"""Physical plan nodes.
+
+Plans are trees of light dataclasses annotated with the optimizer's
+row/cost estimates. Column references inside plan predicates are fully
+qualified by the planner (``binding.column``), so the executor never
+performs name resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.engine.index import IndexDef
+from repro.sql import ast
+
+
+@dataclass
+class PlanNode:
+    """Base plan node with optimizer estimates."""
+
+    est_rows: float = field(default=0.0, init=False)
+    est_cost: float = field(default=0.0, init=False)
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        label = (
+            f"{pad}{self.describe()} "
+            f"(rows={self.est_rows:.0f} cost={self.est_cost:.2f})"
+        )
+        lines = [label]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class SeqScanPlan(PlanNode):
+    """Full heap scan with an optional residual filter."""
+
+    table: str
+    binding: str
+    predicate: Optional[ast.Expr] = None
+
+    def describe(self) -> str:
+        pred = f" filter={self.predicate}" if self.predicate else ""
+        return f"SeqScan {self.table} as {self.binding}{pred}"
+
+
+@dataclass
+class IndexScanPlan(PlanNode):
+    """B+Tree scan: equality prefix + optional range on the next column.
+
+    ``eq_exprs`` are expressions for the leading equality columns; in a
+    parameterized (join inner) scan they reference outer-side columns.
+    The full pushed-down ``predicate`` is always re-checked against
+    fetched rows, so bounds are purely an access-path optimization.
+    """
+
+    table: str
+    binding: str
+    index: IndexDef
+    eq_exprs: Tuple[ast.Expr, ...] = ()
+    range_column: Optional[str] = None
+    range_low: Optional[ast.Expr] = None
+    range_high: Optional[ast.Expr] = None
+    range_low_inclusive: bool = True
+    range_high_inclusive: bool = True
+    predicate: Optional[ast.Expr] = None
+    index_only: bool = False
+
+    def describe(self) -> str:
+        parts = [f"IndexScan {self.index.display_name} on {self.binding}"]
+        if self.eq_exprs:
+            parts.append(f"eq={[str(e) for e in self.eq_exprs]}")
+        if self.range_column:
+            parts.append(
+                f"range {self.range_low}..{self.range_high} on {self.range_column}"
+            )
+        if self.index_only:
+            parts.append("index-only")
+        return " ".join(parts)
+
+
+@dataclass
+class SubqueryScanPlan(PlanNode):
+    """A derived table: re-bases the child's output under a new alias."""
+
+    child: PlanNode
+    binding: str
+    output_columns: Tuple[str, ...] = ()
+    items: Tuple[ast.SelectItem, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"SubqueryScan as {self.binding}"
+
+
+@dataclass
+class FilterPlan(PlanNode):
+    """Row filter on an arbitrary predicate."""
+
+    child: PlanNode
+    predicate: ast.Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter {self.predicate}"
+
+
+@dataclass
+class NestedLoopPlan(PlanNode):
+    """Nested-loop join; the inner side is re-evaluated per outer row.
+
+    When the inner side is a parameterized :class:`IndexScanPlan`, its
+    ``eq_exprs`` reference outer columns — this is the index
+    nested-loop join that makes the paper's Q32-style index
+    combinations pay off.
+    """
+
+    outer: PlanNode = None  # type: ignore[assignment]
+    inner: PlanNode = None  # type: ignore[assignment]
+    predicate: Optional[ast.Expr] = None
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.outer, self.inner)
+
+    def describe(self) -> str:
+        pred = f" on {self.predicate}" if self.predicate else ""
+        return f"NestedLoopJoin{pred}"
+
+
+@dataclass
+class HashJoinPlan(PlanNode):
+    """Equi-hash-join; builds on the right side, probes with the left."""
+
+    left: PlanNode = None  # type: ignore[assignment]
+    right: PlanNode = None  # type: ignore[assignment]
+    left_keys: Tuple[ast.Expr, ...] = ()
+    right_keys: Tuple[ast.Expr, ...] = ()
+    predicate: Optional[ast.Expr] = None
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin on {keys}"
+
+
+@dataclass
+class SortPlan(PlanNode):
+    """Sort on ORDER BY keys."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    keys: Tuple[ast.OrderItem, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Sort " + ", ".join(str(k) for k in self.keys)
+
+
+@dataclass
+class AggregatePlan(PlanNode):
+    """Hash aggregation over optional group keys."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    group_exprs: Tuple[ast.Expr, ...] = ()
+    aggregates: Tuple[ast.FuncCall, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return (
+            "Aggregate group="
+            + str([str(g) for g in self.group_exprs])
+            + " aggs="
+            + str([str(a) for a in self.aggregates])
+        )
+
+
+@dataclass
+class ProjectPlan(PlanNode):
+    """Final SELECT-list evaluation."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    items: Tuple[ast.SelectItem, ...] = ()
+    star_bindings: Tuple[str, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Project " + ", ".join(str(i) for i in self.items)
+
+
+@dataclass
+class DistinctPlan(PlanNode):
+    """Duplicate elimination over fully projected rows."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class LimitPlan(PlanNode):
+    """Row-count limit."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    limit: int = 0
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit {self.limit}"
+
+
+@dataclass
+class InsertPlan(PlanNode):
+    """Insert of pre-evaluated literal rows."""
+
+    table: str = ""
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[object, ...], ...] = ()
+
+    def describe(self) -> str:
+        return f"Insert {self.table} ({len(self.rows)} rows)"
+
+
+@dataclass
+class UpdatePlan(PlanNode):
+    """Update of rows produced by the child scan."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    table: str = ""
+    binding: str = ""
+    assignments: Tuple[ast.Assignment, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Update {self.table}"
+
+
+@dataclass
+class DeletePlan(PlanNode):
+    """Delete of rows produced by the child scan."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    table: str = ""
+    binding: str = ""
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Delete {self.table}"
+
+
+def walk_plan(plan: PlanNode):
+    """Yield every node in the plan tree, pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk_plan(child)
+
+
+def indexes_used(plan: PlanNode) -> List[IndexDef]:
+    """All index definitions referenced by scans in the plan."""
+    return [
+        node.index
+        for node in walk_plan(plan)
+        if isinstance(node, IndexScanPlan)
+    ]

@@ -1,0 +1,142 @@
+"""Table and column schema definitions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class ColumnType(enum.Enum):
+    """Supported column types with fixed on-page widths (bytes)."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    @property
+    def default_width(self) -> int:
+        return _TYPE_WIDTHS[self]
+
+
+_TYPE_WIDTHS = {
+    ColumnType.INT: 8,
+    ColumnType.FLOAT: 8,
+    ColumnType.TEXT: 24,
+    ColumnType.BOOL: 1,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition.
+
+    ``width`` is the average on-page byte width used for page layout
+    and index size estimation; TEXT columns can override the default.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    width: Optional[int] = None
+
+    @property
+    def byte_width(self) -> int:
+        if self.width is not None:
+            return self.width
+        return self.type.default_width
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table definition: ordered columns plus an optional primary key.
+
+    ``partition_count``/``partition_key`` declare hash partitioning,
+    which enables the paper's global-vs-local index scope selection:
+    a LOCAL index is one B+Tree per partition (smaller trees, but
+    non-pruning lookups probe every partition), a GLOBAL index is one
+    tree over all partitions with wider cross-partition row pointers.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Tuple[str, ...] = ()
+    partition_count: int = 1
+    partition_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {self.name!r}")
+        missing = [k for k in self.primary_key if k not in names]
+        if missing:
+            raise ValueError(
+                f"primary key columns {missing} not in table {self.name!r}"
+            )
+        if self.partition_count < 1:
+            raise ValueError("partition_count must be >= 1")
+        if self.partition_count > 1 and self.partition_key is None:
+            raise ValueError("partitioned tables need a partition_key")
+        if self.partition_key is not None and self.partition_key not in names:
+            raise ValueError(
+                f"partition key {self.partition_key!r} not in table "
+                f"{self.name!r}"
+            )
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.partition_count > 1
+
+    def partition_of(self, value: object) -> int:
+        """Hash partition id for a partition-key value."""
+        if not self.is_partitioned:
+            return 0
+        return hash(value) % self.partition_count
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def row_byte_width(self) -> int:
+        """Average bytes per row, including a small tuple header."""
+        header = 24
+        return header + sum(c.byte_width for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+
+def table(
+    name: str,
+    columns: Sequence[Tuple[str, ColumnType]],
+    primary_key: Sequence[str] = (),
+    widths: Optional[Dict[str, int]] = None,
+    partition_count: int = 1,
+    partition_key: Optional[str] = None,
+) -> TableSchema:
+    """Shorthand constructor used heavily by the workload generators."""
+    widths = widths or {}
+    cols = tuple(
+        Column(name=n, type=t, width=widths.get(n)) for n, t in columns
+    )
+    return TableSchema(
+        name=name,
+        columns=cols,
+        primary_key=tuple(primary_key),
+        partition_count=partition_count,
+        partition_key=partition_key,
+    )

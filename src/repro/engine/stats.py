@@ -1,0 +1,251 @@
+"""ANALYZE-style statistics and selectivity estimation.
+
+The planner and the candidate generator both rely on these estimates:
+the paper gates filter-predicate candidates on a selectivity threshold
+(Section IV-A) and the optimizer model uses selectivities to size index
+scans. Statistics follow the classic PostgreSQL design: row count,
+per-column null fraction, distinct count, min/max, most-common values,
+and an equi-depth histogram.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+DEFAULT_EQ_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.1
+HISTOGRAM_BUCKETS = 24
+MCV_ENTRIES = 8
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    null_fraction: float = 0.0
+    n_distinct: int = 1
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+    mcv: Tuple[Tuple[object, float], ...] = ()
+    histogram: Tuple[object, ...] = ()  # equi-depth bucket boundaries
+
+    # -- selectivity for individual operators ---------------------------------
+
+    def eq_selectivity(self, value: object) -> float:
+        """Selectivity of ``col = value``; value may be None (unknown)."""
+        if self.n_distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        if value is not None:
+            for mcv_value, freq in self.mcv:
+                if mcv_value == value:
+                    return freq
+        mcv_total = sum(freq for _, freq in self.mcv)
+        rest_distinct = max(self.n_distinct - len(self.mcv), 1)
+        rest_fraction = max(1.0 - mcv_total - self.null_fraction, 0.0)
+        return max(rest_fraction / rest_distinct, 1e-9)
+
+    def range_selectivity(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float:
+        """Selectivity of ``low <= col <= high`` (None end = open).
+
+        MCV point masses are summed exactly; the remaining mass is
+        interpolated from the equi-depth histogram — the standard
+        split that avoids double-counting heavy endpoint values.
+        """
+        if low is None and high is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        if not self.histogram and not self.mcv:
+            return DEFAULT_RANGE_SELECTIVITY
+
+        mcv_total = sum(freq for _value, freq in self.mcv)
+        mcv_mass = 0.0
+        for value, freq in self.mcv:
+            if _value_in_range(
+                value, low, high, low_inclusive, high_inclusive
+            ):
+                mcv_mass += freq
+
+        rest = max(1.0 - mcv_total - self.null_fraction, 0.0)
+        fraction = 0.0
+        if rest > 0 and self.histogram:
+            low_pos = 0.0 if low is None else self._position(low)
+            high_pos = 1.0 if high is None else self._position(high)
+            fraction = max(high_pos - low_pos, 0.0)
+        selectivity = min(
+            mcv_mass + rest * fraction, 1.0 - self.null_fraction
+        )
+        return max(selectivity, 1e-9)
+
+    def _position(self, value: object) -> float:
+        """Fraction of values strictly below ``value`` (histogram walk)."""
+        boundaries = self.histogram
+        if not boundaries:
+            return 0.5
+        try:
+            idx = bisect.bisect_left(boundaries, value)  # type: ignore[arg-type]
+        except TypeError:
+            return 0.5
+        buckets = len(boundaries) - 1
+        if buckets <= 0:
+            return 0.5
+        if idx <= 0:
+            return 0.0
+        if idx >= len(boundaries):
+            return 1.0
+        lo_b, hi_b = boundaries[idx - 1], boundaries[idx]
+        within = 0.5
+        if isinstance(lo_b, (int, float)) and isinstance(hi_b, (int, float)):
+            span = float(hi_b) - float(lo_b)
+            if span > 0 and isinstance(value, (int, float)):
+                within = (float(value) - float(lo_b)) / span
+        return ((idx - 1) + within) / buckets
+
+    def selectivity(self, op: str, values: Tuple[object, ...]) -> float:
+        """Dispatch on predicate operator (the forms FilterPredicate emits)."""
+        if op == "=":
+            return self.eq_selectivity(values[0] if values else None)
+        if op == "<>":
+            return max(
+                1.0
+                - self.eq_selectivity(values[0] if values else None)
+                - self.null_fraction,
+                1e-9,
+            )
+        if op == "<":
+            return self.range_selectivity(
+                None, values[0], high_inclusive=False
+            )
+        if op == "<=":
+            return self.range_selectivity(None, values[0])
+        if op == ">":
+            return self.range_selectivity(
+                values[0], None, low_inclusive=False
+            )
+        if op == ">=":
+            return self.range_selectivity(values[0], None)
+        if op == "between":
+            low = values[0] if len(values) > 0 else None
+            high = values[1] if len(values) > 1 else None
+            return self.range_selectivity(low, high)
+        if op == "in":
+            if not values:
+                return DEFAULT_EQ_SELECTIVITY
+            total = sum(self.eq_selectivity(v) for v in values)
+            return min(total, 1.0)
+        if op == "like":
+            pattern = values[0] if values else None
+            return self._like_selectivity(pattern)
+        if op == "isnull":
+            return max(self.null_fraction, 1e-9)
+        if op == "isnotnull":
+            return max(1.0 - self.null_fraction, 1e-9)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _like_selectivity(self, pattern: Optional[object]) -> float:
+        if not isinstance(pattern, str):
+            return DEFAULT_LIKE_SELECTIVITY
+        prefix = pattern.split("%", 1)[0].split("_", 1)[0]
+        if not prefix:
+            return DEFAULT_RANGE_SELECTIVITY
+        # Prefix LIKE ≈ range [prefix, prefix + infinity-suffix).
+        return self.range_selectivity(
+            prefix, prefix + "￿", high_inclusive=False
+        )
+
+
+def _value_in_range(
+    value: object,
+    low: Optional[object],
+    high: Optional[object],
+    low_inclusive: bool,
+    high_inclusive: bool,
+) -> bool:
+    """Whether an MCV value falls inside a (possibly open) range."""
+    try:
+        if low is not None:
+            if value < low or (value == low and not low_inclusive):
+                return False
+        if high is not None:
+            if value > high or (value == high and not high_inclusive):
+                return False
+    except TypeError:
+        return False
+    return True
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns.get(name, ColumnStats())
+
+
+def analyze_column(values: Sequence[object]) -> ColumnStats:
+    """Compute :class:`ColumnStats` from a column's values."""
+    total = len(values)
+    if total == 0:
+        return ColumnStats()
+    non_null = [v for v in values if v is not None]
+    null_fraction = 1.0 - len(non_null) / total
+    if not non_null:
+        return ColumnStats(null_fraction=1.0, n_distinct=0)
+
+    counts = Counter(non_null)
+    n_distinct = len(counts)
+    mcv: Tuple[Tuple[object, float], ...] = ()
+    if n_distinct <= MCV_ENTRIES:
+        # Few distinct values: keep exact frequencies for all of them.
+        mcv = tuple(
+            (value, count / total) for value, count in counts.most_common()
+        )
+    else:
+        common = counts.most_common(MCV_ENTRIES)
+        # Only keep MCVs that are genuinely skewed (above uniform share).
+        uniform = len(non_null) / n_distinct
+        mcv = tuple(
+            (value, count / total)
+            for value, count in common
+            if count > 1.5 * uniform
+        )
+
+    try:
+        ordered = sorted(non_null)
+    except TypeError:
+        ordered = non_null
+    boundaries: List[object] = []
+    buckets = min(HISTOGRAM_BUCKETS, max(1, n_distinct - 1))
+    for i in range(buckets + 1):
+        pos = min(int(round(i * (len(ordered) - 1) / buckets)), len(ordered) - 1)
+        boundaries.append(ordered[pos])
+
+    return ColumnStats(
+        null_fraction=null_fraction,
+        n_distinct=n_distinct,
+        min_value=ordered[0],
+        max_value=ordered[-1],
+        mcv=mcv,
+        histogram=tuple(boundaries),
+    )
+
+
+def analyze_table(
+    rows: Sequence[Tuple[object, ...]], column_names: Sequence[str]
+) -> TableStats:
+    """Compute full-table statistics from materialised rows."""
+    stats = TableStats(row_count=len(rows))
+    for idx, name in enumerate(column_names):
+        stats.columns[name] = analyze_column([row[idx] for row in rows])
+    return stats

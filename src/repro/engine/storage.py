@@ -1,0 +1,129 @@
+"""Heap storage: slotted pages of rows, addressed by RID.
+
+Rows are stored as plain tuples in column order. The page layout is a
+simulation — Python objects, not bytes — but page *counts* are derived
+from real byte widths, so sequential-scan IO, index size, and storage
+budgets behave like a disk-resident system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.engine.cost import PAGE_SIZE, CostTracker
+from repro.engine.schema import TableSchema
+
+Rid = Tuple[int, int]
+"""Row identifier: (page number, slot number)."""
+
+Row = Tuple[object, ...]
+
+
+class HeapFile:
+    """An append-mostly heap of fixed-capacity pages.
+
+    Deleted slots are tombstoned (set to None) and reused by later
+    inserts via a free list, mirroring how a real heap keeps page count
+    stable under churn.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows_per_page = max(1, PAGE_SIZE // schema.row_byte_width)
+        self._pages: List[List[Optional[Row]]] = []
+        self._free: List[Rid] = []
+        self._live_count = 0
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def row_count(self) -> int:
+        """Number of live rows."""
+        return self._live_count
+
+    @property
+    def byte_size(self) -> int:
+        return self.page_count * PAGE_SIZE
+
+    # -- mutations ------------------------------------------------------------
+
+    def insert(self, row: Row, tracker: Optional[CostTracker] = None) -> Rid:
+        """Insert a row, reusing a free slot when available."""
+        if len(row) != len(self.schema.columns):
+            raise ValueError(
+                f"row width {len(row)} != schema width "
+                f"{len(self.schema.columns)} for table {self.schema.name!r}"
+            )
+        if self._free:
+            rid = self._free.pop()
+            self._pages[rid[0]][rid[1]] = row
+        else:
+            if not self._pages or len(self._pages[-1]) >= self.rows_per_page:
+                self._pages.append([])
+            page_no = len(self._pages) - 1
+            self._pages[page_no].append(row)
+            rid = (page_no, len(self._pages[page_no]) - 1)
+        self._live_count += 1
+        if tracker is not None:
+            tracker.charge_random_pages(1)
+            tracker.charge_heap_tuples(1)
+        return rid
+
+    def update(
+        self, rid: Rid, row: Row, tracker: Optional[CostTracker] = None
+    ) -> None:
+        """Overwrite the row at ``rid`` in place."""
+        self._check(rid)
+        self._pages[rid[0]][rid[1]] = row
+        if tracker is not None:
+            tracker.charge_random_pages(1)
+            tracker.charge_heap_tuples(1)
+
+    def delete(self, rid: Rid, tracker: Optional[CostTracker] = None) -> Row:
+        """Tombstone the row at ``rid`` and return it."""
+        row = self._check(rid)
+        self._pages[rid[0]][rid[1]] = None
+        self._free.append(rid)
+        self._live_count -= 1
+        if tracker is not None:
+            tracker.charge_random_pages(1)
+            tracker.charge_heap_tuples(1)
+        return row
+
+    # -- reads ----------------------------------------------------------------
+
+    def fetch(self, rid: Rid, tracker: Optional[CostTracker] = None) -> Row:
+        """Random-access fetch of one row (one random page IO)."""
+        row = self._check(rid)
+        if tracker is not None:
+            tracker.charge_random_pages(1)
+            tracker.charge_heap_tuples(1)
+        return row
+
+    def scan(
+        self, tracker: Optional[CostTracker] = None
+    ) -> Iterator[Tuple[Rid, Row]]:
+        """Full sequential scan; charges one sequential IO per page."""
+        for page_no, page in enumerate(self._pages):
+            if tracker is not None:
+                tracker.charge_seq_pages(1)
+            for slot, row in enumerate(page):
+                if row is None:
+                    continue
+                if tracker is not None:
+                    tracker.charge_heap_tuples(1)
+                yield (page_no, slot), row
+
+    def _check(self, rid: Rid) -> Row:
+        page_no, slot = rid
+        try:
+            row = self._pages[page_no][slot]
+        except IndexError:
+            raise KeyError(f"invalid rid {rid}") from None
+        if row is None:
+            raise KeyError(f"rid {rid} is deleted")
+        return row

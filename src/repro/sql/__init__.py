@@ -1,0 +1,78 @@
+"""SQL frontend: lexer, parser, AST, predicate normalization, templating.
+
+This package implements the SQL dialect understood by the
+:mod:`repro.engine` substrate and the analysis passes that AutoIndex's
+candidate-index generation relies on (DNF rewriting, predicate
+classification, and literal fingerprinting for SQL2Template).
+"""
+
+from repro.sql.ast import (
+    And,
+    Arith,
+    Between,
+    ColumnRef,
+    Comparison,
+    Delete,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    Placeholder,
+    Select,
+    SelectItem,
+    Star,
+    SubquerySource,
+    TableRef,
+    Update,
+)
+from repro.sql.lexer import Lexer, SqlSyntaxError, Token, TokenType
+from repro.sql.parser import Parser, parse
+from repro.sql.fingerprint import fingerprint, parameterize
+from repro.sql.predicates import (
+    classify_conjuncts,
+    conjuncts_of,
+    to_dnf,
+    referenced_columns,
+)
+
+__all__ = [
+    "And",
+    "Arith",
+    "Between",
+    "ColumnRef",
+    "Comparison",
+    "Delete",
+    "FuncCall",
+    "InList",
+    "Insert",
+    "IsNull",
+    "Lexer",
+    "Like",
+    "Literal",
+    "Not",
+    "Or",
+    "OrderItem",
+    "Parser",
+    "Placeholder",
+    "Select",
+    "SelectItem",
+    "SqlSyntaxError",
+    "Star",
+    "SubquerySource",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "Update",
+    "classify_conjuncts",
+    "conjuncts_of",
+    "fingerprint",
+    "parameterize",
+    "parse",
+    "referenced_columns",
+    "to_dnf",
+]

@@ -1,0 +1,438 @@
+"""Typed abstract syntax tree for the engine's SQL dialect.
+
+The node set deliberately covers the constructs the AutoIndex paper
+reasons about: SPJ queries with conjunctive/disjunctive predicates,
+grouping, ordering, limits, scalar IN-lists, BETWEEN, prefix LIKE, and
+the three write statements (INSERT / UPDATE / DELETE) whose index
+maintenance cost the estimator must model.
+
+All nodes are immutable dataclasses so they can be hashed, cached, and
+shared between the planner, the template store, and the candidate
+generator without defensive copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value: number, string, boolean, or NULL."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Placeholder(Expr):
+    """A parameter marker (``$n``) produced by query templating."""
+
+    index: int = 0
+
+    def __str__(self) -> str:
+        return f"${self.index}"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A binary comparison: ``=``, ``<>``, ``<``, ``<=``, ``>``, ``>=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr BETWEEN low AND high`` (inclusive on both ends)."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+
+    def __str__(self) -> str:
+        return f"{self.expr} BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr IN (v1, v2, ...)``."""
+
+    expr: Expr
+    items: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(item) for item in self.items)
+        return f"{self.expr} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr LIKE pattern``; only used with constant patterns."""
+
+    expr: Expr
+    pattern: Expr
+
+    def __str__(self) -> str:
+        return f"{self.expr} LIKE {self.pattern}"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expr} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """N-ary conjunction."""
+
+    items: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(_paren_bool(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """N-ary disjunction."""
+
+    items: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(_paren_bool(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    child: Expr
+
+    def __str__(self) -> str:
+        return f"NOT {_paren_bool(self.child)}"
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """Binary arithmetic: ``+``, ``-``, ``*``, ``/``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call; aggregates are SUM/COUNT/AVG/MIN/MAX."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    distinct: bool = False
+
+    AGGREGATES = frozenset({"sum", "count", "avg", "min", "max"})
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.lower() in self.AGGREGATES
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name.upper()}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A subquery used as a scalar or IN-subquery expression."""
+
+    select: "Select"
+
+    def __str__(self) -> str:
+        return f"({self.select})"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr IN (SELECT ...)``."""
+
+    expr: Expr
+    select: "Select"
+
+    def __str__(self) -> str:
+        return f"{self.expr} IN ({self.select})"
+
+
+def _paren_bool(expr: Expr) -> str:
+    """Parenthesize nested boolean connectives for readable SQL text."""
+    if isinstance(expr, (And, Or)):
+        return f"({expr})"
+    return str(expr)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement(Node):
+    """Base class for SQL statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One entry in a SELECT list: expression plus optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expr} AS {self.alias}"
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """A base-table source in a FROM clause."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name the table is visible as inside the query."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class SubquerySource(Node):
+    """A derived table (subquery in FROM) with a mandatory alias."""
+
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+    def __str__(self) -> str:
+        return f"({self.select}) AS {self.alias}"
+
+
+Source = Union[TableRef, SubquerySource]
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expr: Expr
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expr} DESC" if self.descending else str(self.expr)
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A SELECT statement.
+
+    Joins are expressed in canonical comma-join form: all sources live
+    in ``sources`` and join conditions are ordinary conjuncts in
+    ``where``. The parser folds explicit ``JOIN ... ON`` syntax into
+    this form, which is what the planner and the candidate generator
+    consume.
+    """
+
+    items: Tuple[SelectItem, ...]
+    sources: Tuple[Source, ...]
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(item) for item in self.items))
+        parts.append("FROM")
+        parts.append(", ".join(str(src) for src in self.sources))
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(g) for g in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO table (cols) VALUES (row), (row), ...``."""
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expr, ...], ...]
+
+    def __str__(self) -> str:
+        cols = ", ".join(self.columns)
+        rows = ", ".join(
+            "(" + ", ".join(str(v) for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table} ({cols}) VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class Assignment(Node):
+    """``column = expr`` inside an UPDATE."""
+
+    column: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.column} = {self.value}"
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE table SET col = expr, ... WHERE ...``."""
+
+    table: str
+    assignments: Tuple[Assignment, ...]
+    where: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        sets = ", ".join(str(a) for a in self.assignments)
+        text = f"UPDATE {self.table} SET {sets}"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        return text
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM table WHERE ...``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        text = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        return text
+
+
+def is_write(stmt: Statement) -> bool:
+    """Return True for statements that modify data (and hence indexes)."""
+    return isinstance(stmt, (Insert, Update, Delete))
+
+
+def walk(node: Node):
+    """Yield ``node`` and every descendant AST node, depth-first.
+
+    Used by analysis passes that need to visit every expression in a
+    statement (e.g. column usage extraction).
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for value in _children(current):
+            stack.append(value)
+
+
+def _children(node: Node):
+    """Return the direct child nodes of an AST node."""
+    result = []
+    cls_fields = getattr(node, "__dataclass_fields__", None)
+    if not cls_fields:
+        return result
+    for name in cls_fields:
+        value = getattr(node, name)
+        if isinstance(value, Node):
+            result.append(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Node):
+                    result.append(item)
+                elif isinstance(item, tuple):
+                    result.extend(v for v in item if isinstance(v, Node))
+    return result

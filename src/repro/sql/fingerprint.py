@@ -1,0 +1,180 @@
+"""Query fingerprinting for SQL2Template.
+
+The paper's SQL2Template component maps each incoming query to a query
+*template* by replacing predicate literals with placeholders and
+matching the result against a bounded template store (Section IV-A,
+step 1). This module provides the AST→template transformation and the
+canonical fingerprint string used as the matching key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class ParameterizedQuery:
+    """A statement with literals lifted out, plus the extracted values."""
+
+    statement: ast.Statement
+    values: Tuple[object, ...]
+
+    @property
+    def fingerprint(self) -> str:
+        return str(self.statement)
+
+
+class _Parameterizer:
+    """Rewrites an AST, replacing literals with numbered placeholders."""
+
+    def __init__(self) -> None:
+        self.values: List[object] = []
+
+    def _bind(self, value: object) -> ast.Placeholder:
+        self.values.append(value)
+        return ast.Placeholder(index=len(self.values))
+
+    # -- expression rewriting -------------------------------------------------
+
+    def expr(self, node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Literal):
+            return self._bind(node.value)
+        if isinstance(node, ast.Placeholder):
+            return node
+        if isinstance(node, ast.Comparison):
+            return ast.Comparison(
+                op=node.op, left=self.expr(node.left), right=self.expr(node.right)
+            )
+        if isinstance(node, ast.Between):
+            return ast.Between(
+                expr=self.expr(node.expr),
+                low=self.expr(node.low),
+                high=self.expr(node.high),
+            )
+        if isinstance(node, ast.InList):
+            # IN-lists of different lengths should share a template:
+            # collapse the whole list to a single placeholder marker.
+            rewritten = self.expr(node.items[0]) if node.items else None
+            if rewritten is None:
+                return node
+            return ast.InList(expr=self.expr(node.expr), items=(rewritten,))
+        if isinstance(node, ast.Like):
+            return ast.Like(
+                expr=self.expr(node.expr), pattern=self.expr(node.pattern)
+            )
+        if isinstance(node, ast.IsNull):
+            return ast.IsNull(expr=self.expr(node.expr), negated=node.negated)
+        if isinstance(node, ast.And):
+            return ast.And(items=tuple(self.expr(i) for i in node.items))
+        if isinstance(node, ast.Or):
+            return ast.Or(items=tuple(self.expr(i) for i in node.items))
+        if isinstance(node, ast.Not):
+            return ast.Not(child=self.expr(node.child))
+        if isinstance(node, ast.Arith):
+            return ast.Arith(
+                op=node.op, left=self.expr(node.left), right=self.expr(node.right)
+            )
+        if isinstance(node, ast.FuncCall):
+            return ast.FuncCall(
+                name=node.name,
+                args=tuple(self.expr(a) for a in node.args),
+                distinct=node.distinct,
+            )
+        if isinstance(node, ast.ScalarSubquery):
+            return ast.ScalarSubquery(select=self.select(node.select))
+        if isinstance(node, ast.InSubquery):
+            return ast.InSubquery(
+                expr=self.expr(node.expr), select=self.select(node.select)
+            )
+        # ColumnRef, Star: no literals inside.
+        return node
+
+    def opt_expr(self, node):
+        return None if node is None else self.expr(node)
+
+    # -- statement rewriting ----------------------------------------------------
+
+    def select(self, node: ast.Select) -> ast.Select:
+        return ast.Select(
+            items=tuple(
+                ast.SelectItem(expr=self.expr(i.expr), alias=i.alias)
+                for i in node.items
+            ),
+            sources=tuple(self.source(s) for s in node.sources),
+            where=self.opt_expr(node.where),
+            group_by=tuple(self.expr(g) for g in node.group_by),
+            having=self.opt_expr(node.having),
+            order_by=tuple(
+                ast.OrderItem(expr=self.expr(o.expr), descending=o.descending)
+                for o in node.order_by
+            ),
+            limit=node.limit,
+            distinct=node.distinct,
+        )
+
+    def source(self, node: ast.Source) -> ast.Source:
+        if isinstance(node, ast.SubquerySource):
+            return ast.SubquerySource(
+                select=self.select(node.select), alias=node.alias
+            )
+        return node
+
+    def statement(self, node: ast.Statement) -> ast.Statement:
+        if isinstance(node, ast.Select):
+            return self.select(node)
+        if isinstance(node, ast.Insert):
+            # All INSERTs into a table with the same column list share a
+            # template regardless of row count and values; still record
+            # the first row's values for completeness.
+            if node.rows:
+                for value in node.rows[0]:
+                    if isinstance(value, ast.Literal):
+                        self.values.append(value.value)
+                    else:
+                        self.values.append(None)
+            placeholder_row = tuple(
+                ast.Placeholder(index=i + 1) for i in range(len(node.columns))
+            )
+            return ast.Insert(
+                table=node.table, columns=node.columns, rows=(placeholder_row,)
+            )
+        if isinstance(node, ast.Update):
+            return ast.Update(
+                table=node.table,
+                assignments=tuple(
+                    ast.Assignment(column=a.column, value=self.expr(a.value))
+                    for a in node.assignments
+                ),
+                where=self.opt_expr(node.where),
+            )
+        if isinstance(node, ast.Delete):
+            return ast.Delete(table=node.table, where=self.opt_expr(node.where))
+        raise TypeError(f"cannot parameterize {type(node).__name__}")
+
+
+def parameterize(statement: ast.Statement) -> ParameterizedQuery:
+    """Lift literals out of ``statement`` into placeholders.
+
+    Returns the rewritten statement and the extracted literal values in
+    placeholder order. Two queries that differ only in literal values
+    (or IN-list length, or INSERT row count) produce identical
+    templates.
+    """
+    rewriter = _Parameterizer()
+    template = rewriter.statement(statement)
+    return ParameterizedQuery(
+        statement=template, values=tuple(rewriter.values)
+    )
+
+
+def fingerprint(statement: ast.Statement) -> str:
+    """The canonical template string for ``statement``.
+
+    This is the key SQL2Template matches on: stable across literal
+    values, whitespace, and keyword case (the parser lower-cases
+    identifiers and keywords).
+    """
+    return parameterize(statement).fingerprint

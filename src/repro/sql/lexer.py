@@ -1,0 +1,200 @@
+"""Hand-written tokenizer for the engine's SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL input (lexing or parsing)."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PLACEHOLDER = "placeholder"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "and",
+        "or",
+        "not",
+        "group",
+        "order",
+        "by",
+        "having",
+        "limit",
+        "asc",
+        "desc",
+        "insert",
+        "into",
+        "values",
+        "update",
+        "set",
+        "delete",
+        "as",
+        "join",
+        "inner",
+        "left",
+        "on",
+        "between",
+        "in",
+        "like",
+        "is",
+        "null",
+        "distinct",
+        "true",
+        "false",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        if self.type is not type_:
+            return False
+        return value is None or self.value == value
+
+
+class Lexer:
+    """Tokenizes a SQL string into a list of :class:`Token`."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._length = len(text)
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole input, ending with an EOF token."""
+        result: List[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.type is TokenType.EOF:
+                return result
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace()
+        if self._pos >= self._length:
+            return Token(TokenType.EOF, "", self._pos)
+
+        start = self._pos
+        char = self._text[start]
+
+        if char == "'":
+            return self._lex_string(start)
+        if char.isdigit() or (
+            char == "." and self._peek_is_digit(start + 1)
+        ):
+            return self._lex_number(start)
+        if char == "$":
+            return self._lex_placeholder(start)
+        if char.isalpha() or char == "_":
+            return self._lex_word(start)
+
+        for op in _OPERATORS:
+            if self._text.startswith(op, start):
+                self._pos = start + len(op)
+                return Token(TokenType.OPERATOR, op, start)
+        if char in _PUNCT:
+            self._pos = start + 1
+            return Token(TokenType.PUNCT, char, start)
+
+        raise SqlSyntaxError(f"unexpected character {char!r}", start)
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < self._length:
+            char = self._text[self._pos]
+            if char.isspace():
+                self._pos += 1
+            elif self._text.startswith("--", self._pos):
+                end = self._text.find("\n", self._pos)
+                self._pos = self._length if end < 0 else end + 1
+            else:
+                return
+
+    def _peek_is_digit(self, pos: int) -> bool:
+        return pos < self._length and self._text[pos].isdigit()
+
+    def _lex_string(self, start: int) -> Token:
+        parts: List[str] = []
+        pos = start + 1
+        while pos < self._length:
+            char = self._text[pos]
+            if char == "'":
+                if self._text.startswith("''", pos):
+                    parts.append("'")
+                    pos += 2
+                    continue
+                self._pos = pos + 1
+                return Token(TokenType.STRING, "".join(parts), start)
+            parts.append(char)
+            pos += 1
+        raise SqlSyntaxError("unterminated string literal", start)
+
+    def _lex_number(self, start: int) -> Token:
+        pos = start
+        seen_dot = False
+        while pos < self._length:
+            char = self._text[pos]
+            if char.isdigit():
+                pos += 1
+            elif char == "." and not seen_dot and self._peek_is_digit(pos + 1):
+                seen_dot = True
+                pos += 1
+            else:
+                break
+        self._pos = pos
+        return Token(TokenType.NUMBER, self._text[start:pos], start)
+
+    def _lex_placeholder(self, start: int) -> Token:
+        pos = start + 1
+        while pos < self._length and self._text[pos].isdigit():
+            pos += 1
+        self._pos = pos
+        return Token(TokenType.PLACEHOLDER, self._text[start:pos], start)
+
+    def _lex_word(self, start: int) -> Token:
+        pos = start
+        while pos < self._length and (
+            self._text[pos].isalnum() or self._text[pos] == "_"
+        ):
+            pos += 1
+        self._pos = pos
+        word = self._text[start:pos]
+        lowered = word.lower()
+        if lowered in KEYWORDS:
+            return Token(TokenType.KEYWORD, lowered, start)
+        return Token(TokenType.IDENT, lowered, start)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``text`` into a token list."""
+    return Lexer(text).tokens()

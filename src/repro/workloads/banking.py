@@ -1,0 +1,370 @@
+"""Synthetic banking scenario (the paper's real-world evaluation).
+
+The paper's banking deployment has 144 tables, a hybrid of a
+*withdrawal flow* service (OLTP point lookups and balance updates) and
+a *summarization* service (OLAP rollups), and a DBA-crafted
+configuration of 263 manual indexes on the withdraw business — most of
+them redundant or write-penalised. We reproduce that structure
+synthetically, at laptop scale:
+
+* 5 core OLTP tables + 120 per-product side tables + 19 summarization
+  fact tables = 144 tables;
+* exactly 263 manual indexes for the Figure 1 removal experiment:
+  most sit on product tables the workload never filters by, several
+  duplicate a primary key prefix, and some index columns every
+  withdrawal rewrites (negative benefit);
+* the query mix exercises only the core tables, a handful of product
+  tables, and the summarization facts — so index *usage* statistics
+  separate the wheat from the chaff exactly as diagnosis expects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import TableSchema, table
+from repro.workloads.base import Query, WorkloadGenerator, weighted_choice
+
+NUM_PRODUCT_TABLES = 120
+NUM_SUMMARY_TABLES = 19
+BRANCHES = 40
+CHANNELS = 8
+
+
+class BankingWorkload(WorkloadGenerator):
+    """Hybrid banking workload: withdrawal (OLTP) + summarization (OLAP)."""
+
+    name = "banking"
+
+    def __init__(
+        self,
+        accounts: int = 6000,
+        txn_rows: int = 24000,
+        product_rows: int = 250,
+        seed: int = 31,
+    ):
+        self.accounts = accounts
+        self.txn_rows = txn_rows
+        self.product_rows = product_rows
+        self.seed = seed
+        self._next_txn_id = txn_rows + 1
+        # Only a few product tables are ever queried; the rest exist to
+        # carry the redundant manual indexes of Figure 1.
+        self.hot_products = list(range(0, NUM_PRODUCT_TABLES, 10))
+
+    # ------------------------------------------------------------------
+    # schema: 5 core + 120 product + 19 summary = 144 tables
+    # ------------------------------------------------------------------
+
+    def schemas(self) -> List[TableSchema]:
+        schemas = [
+            table(
+                "account",
+                [("acct_id", T.INT), ("customer_id", T.INT),
+                 ("branch_id", T.INT), ("balance", T.FLOAT),
+                 ("status", T.TEXT), ("open_day", T.INT),
+                 ("last_txn_day", T.INT)],
+                primary_key=["acct_id"],
+            ),
+            table(
+                "customer",
+                [("customer_id", T.INT), ("name", T.TEXT),
+                 ("segment", T.TEXT), ("branch_id", T.INT)],
+                primary_key=["customer_id"],
+            ),
+            table(
+                "card",
+                [("card_id", T.INT), ("acct_id", T.INT),
+                 ("card_status", T.TEXT), ("daily_limit", T.FLOAT)],
+                primary_key=["card_id"],
+            ),
+            table(
+                "branch",
+                [("branch_id", T.INT), ("region", T.TEXT),
+                 ("manager", T.TEXT)],
+                primary_key=["branch_id"],
+            ),
+            table(
+                "txn_log",
+                [("txn_id", T.INT), ("acct_id", T.INT),
+                 ("branch_id", T.INT), ("channel_id", T.INT),
+                 ("amount", T.FLOAT), ("day", T.INT),
+                 ("txn_type", T.TEXT)],
+                primary_key=["txn_id"],
+            ),
+        ]
+        for p in range(NUM_PRODUCT_TABLES):
+            schemas.append(
+                table(
+                    f"prod_{p}",
+                    [("row_id", T.INT), ("acct_id", T.INT),
+                     ("attr_a", T.INT), ("attr_b", T.INT),
+                     ("attr_c", T.TEXT), ("amount", T.FLOAT),
+                     ("updated_day", T.INT)],
+                    primary_key=["row_id"],
+                )
+            )
+        for s in range(NUM_SUMMARY_TABLES):
+            schemas.append(
+                table(
+                    f"sum_fact_{s}",
+                    [("fact_id", T.INT), ("branch_id", T.INT),
+                     ("channel_id", T.INT), ("day", T.INT),
+                     ("total_amount", T.FLOAT), ("txn_count", T.INT)],
+                    primary_key=["fact_id"],
+                )
+            )
+        return schemas
+
+    def load(self, db: Database) -> None:
+        rng = random.Random(self.seed)
+        db.load_rows(
+            "branch",
+            [(b, f"region_{b % 6}", f"mgr_{b}") for b in range(BRANCHES)],
+        )
+        db.load_rows(
+            "customer",
+            [
+                (c, f"cust_{c}", rng.choice(("retail", "vip", "corp")),
+                 rng.randrange(BRANCHES))
+                for c in range(self.accounts * 4 // 5)
+            ],
+        )
+        db.load_rows(
+            "account",
+            [
+                (a, rng.randrange(max(self.accounts * 4 // 5, 1)),
+                 rng.randrange(BRANCHES),
+                 round(rng.random() * 100000, 2),
+                 rng.choice(("active", "active", "active", "frozen")),
+                 rng.randrange(1, 721), rng.randrange(600, 721))
+                for a in range(self.accounts)
+            ],
+        )
+        db.load_rows(
+            "card",
+            [
+                (k, rng.randrange(self.accounts),
+                 rng.choice(("ok", "ok", "ok", "lost")),
+                 round(500 + rng.random() * 4500, 2))
+                for k in range(self.accounts)
+            ],
+        )
+        db.load_rows(
+            "txn_log",
+            [
+                (t, rng.randrange(self.accounts), rng.randrange(BRANCHES),
+                 rng.randrange(CHANNELS),
+                 round(rng.random() * 2000, 2), rng.randrange(1, 721),
+                 rng.choice(("wd", "dep", "tf")))
+                for t in range(1, self.txn_rows + 1)
+            ],
+        )
+        for p in range(NUM_PRODUCT_TABLES):
+            db.load_rows(
+                f"prod_{p}",
+                [
+                    (r, rng.randrange(self.accounts),
+                     rng.randrange(100), rng.randrange(100),
+                     f"v{r % 13}", round(rng.random() * 1000, 2),
+                     rng.randrange(1, 721))
+                    for r in range(self.product_rows)
+                ],
+            )
+        fact_rows = self.txn_rows // 4
+        for s in range(NUM_SUMMARY_TABLES):
+            db.load_rows(
+                f"sum_fact_{s}",
+                [
+                    (f, rng.randrange(BRANCHES), rng.randrange(CHANNELS),
+                     rng.randrange(1, 721),
+                     round(rng.random() * 50000, 2), rng.randrange(1, 500))
+                    for f in range(fact_rows)
+                ],
+            )
+
+    # ------------------------------------------------------------------
+    # index configurations
+    # ------------------------------------------------------------------
+
+    def manual_withdraw_indexes(self) -> List[IndexDef]:
+        """The DBA-crafted 263-index configuration of Figure 1.
+
+        Composition (mirroring what the paper describes as "many
+        redundant indexes"):
+
+        * 240 indexes on the 120 product tables (2 each) — the hot
+          product tables' ``acct_id`` indexes are genuinely useful,
+          everything else is dead weight;
+        * 23 indexes on the core tables, including prefix-redundant
+          ones and indexes on columns every withdrawal rewrites
+          (``balance``, ``last_txn_day``) — negative benefit.
+        """
+        indexes: List[IndexDef] = []
+        for p in range(NUM_PRODUCT_TABLES):
+            indexes.append(
+                IndexDef(table=f"prod_{p}", columns=("acct_id",),
+                         name=f"idx_prod{p}_acct")
+            )
+            indexes.append(
+                IndexDef(table=f"prod_{p}", columns=("attr_a", "attr_b"),
+                         name=f"idx_prod{p}_attrs")
+            )
+        core = [
+            IndexDef(table="account", columns=("customer_id",)),
+            IndexDef(table="account", columns=("branch_id",)),
+            IndexDef(table="account", columns=("branch_id", "status")),
+            IndexDef(table="account", columns=("balance",)),       # negative
+            IndexDef(table="account", columns=("last_txn_day",)),  # negative
+            IndexDef(table="account", columns=("open_day",)),
+            IndexDef(table="account", columns=("status",)),
+            IndexDef(table="card", columns=("acct_id",)),
+            IndexDef(table="card", columns=("acct_id", "card_status")),
+            IndexDef(table="card", columns=("card_status",)),
+            IndexDef(table="card", columns=("daily_limit",)),
+            IndexDef(table="customer", columns=("branch_id",)),
+            IndexDef(table="customer", columns=("segment",)),
+            IndexDef(table="customer", columns=("name",)),
+            IndexDef(table="txn_log", columns=("acct_id",)),
+            IndexDef(table="txn_log", columns=("acct_id", "day")),
+            IndexDef(table="txn_log", columns=("branch_id",)),
+            IndexDef(table="txn_log", columns=("channel_id",)),
+            IndexDef(table="txn_log", columns=("day",)),
+            IndexDef(table="txn_log", columns=("txn_type",)),
+            IndexDef(table="txn_log", columns=("amount",)),
+            IndexDef(table="branch", columns=("region",)),
+            IndexDef(table="branch", columns=("manager",)),
+        ]
+        indexes.extend(core)
+        assert len(indexes) == 263, len(indexes)
+        return indexes
+
+    def default_indexes(self) -> List[IndexDef]:
+        """Default = the manual configuration (as in the paper)."""
+        return self.manual_withdraw_indexes()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def queries(self, count: int, seed: int = 0) -> List[Query]:
+        """Hybrid stream: ~70% withdrawal service, ~30% summarization."""
+        rng = random.Random(self.seed * 524287 + seed)
+        queries: List[Query] = []
+        while len(queries) < count:
+            if rng.random() < 0.7:
+                queries.extend(self.withdrawal_txn(rng))
+            else:
+                queries.append(self.summarization_query(rng))
+        return queries[:count]
+
+    def withdrawal_queries(self, count: int, seed: int = 0) -> List[Query]:
+        rng = random.Random(self.seed * 131071 + seed)
+        queries: List[Query] = []
+        while len(queries) < count:
+            queries.extend(self.withdrawal_txn(rng))
+        return queries[:count]
+
+    def summarization_queries(self, count: int, seed: int = 0) -> List[Query]:
+        rng = random.Random(self.seed * 8191 + seed)
+        return [self.summarization_query(rng) for _ in range(count)]
+
+    def withdrawal_txn(self, rng: random.Random) -> List[Query]:
+        acct = rng.randrange(self.accounts)
+        amount = round(10 + rng.random() * 500, 2)
+        day = 720
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        queries = [
+            Query(
+                sql=(
+                    "SELECT balance, status FROM account "
+                    f"WHERE acct_id = {acct}"
+                ),
+                kind="read", tag="withdraw",
+            ),
+            Query(
+                sql=(
+                    "SELECT card_status, daily_limit FROM card "
+                    f"WHERE acct_id = {acct} AND card_status = 'ok'"
+                ),
+                kind="read", tag="withdraw",
+            ),
+            Query(
+                sql=(
+                    f"UPDATE account SET balance = balance - {amount}, "
+                    f"last_txn_day = {day} WHERE acct_id = {acct}"
+                ),
+                kind="write", tag="withdraw",
+            ),
+            Query(
+                sql=(
+                    "INSERT INTO txn_log (txn_id, acct_id, branch_id, "
+                    "channel_id, amount, day, txn_type) VALUES "
+                    f"({txn_id}, {acct}, {rng.randrange(BRANCHES)}, "
+                    f"{rng.randrange(CHANNELS)}, {amount}, {day}, 'wd')"
+                ),
+                kind="write", tag="withdraw",
+            ),
+        ]
+        if rng.random() < 0.3:
+            queries.append(
+                Query(
+                    sql=(
+                        "SELECT txn_id, amount FROM txn_log "
+                        f"WHERE acct_id = {acct} AND day >= {day - 30}"
+                    ),
+                    kind="read", tag="withdraw",
+                )
+            )
+        if rng.random() < 0.2:
+            product = rng.choice(self.hot_products)
+            queries.append(
+                Query(
+                    sql=(
+                        f"SELECT row_id, amount FROM prod_{product} "
+                        f"WHERE acct_id = {acct}"
+                    ),
+                    kind="read", tag="withdraw",
+                )
+            )
+        return queries
+
+    def summarization_query(self, rng: random.Random) -> Query:
+        fact = rng.randrange(NUM_SUMMARY_TABLES)
+        roll = rng.random()
+        if roll < 0.4:
+            branch = rng.randrange(BRANCHES)
+            lo = rng.randrange(1, 700)
+            return Query(
+                sql=(
+                    f"SELECT sum(total_amount), sum(txn_count) "
+                    f"FROM sum_fact_{fact} WHERE branch_id = {branch} "
+                    f"AND day BETWEEN {lo} AND {lo + 6}"
+                ),
+                kind="read", tag="summarize",
+            )
+        if roll < 0.7:
+            lo = rng.randrange(1, 712)
+            return Query(
+                sql=(
+                    "SELECT channel_id, sum(total_amount) AS amt "
+                    f"FROM sum_fact_{fact} "
+                    f"WHERE day BETWEEN {lo} AND {lo + 2} "
+                    "GROUP BY channel_id ORDER BY amt DESC"
+                ),
+                kind="read", tag="summarize",
+            )
+        branch = rng.randrange(BRANCHES)
+        return Query(
+            sql=(
+                "SELECT count(*) FROM txn_log "
+                f"WHERE branch_id = {branch} AND day >= 690 "
+                "AND txn_type = 'wd'"
+            ),
+            kind="read", tag="summarize",
+        )

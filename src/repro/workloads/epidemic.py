@@ -1,0 +1,206 @@
+"""The paper's running example (Figure 2): an epidemic tracking table.
+
+Three workload phases with different index requirements:
+
+* **W1** — early epidemic: sparse data, random read queries over
+  ``temperature`` and ``community`` → single-column indexes pay off;
+* **W2** — rapid spread: heavy inserts of new potentially-infected
+  people → the maintenance cost of ``idx_community`` outweighs its
+  read benefit and it should be dropped;
+* **W3** — epidemic controlled: rare inserts, many temperature updates
+  keyed by (name, community) plus temperature range reads → a
+  multi-column index on (name, community) becomes beneficial while
+  ``idx_temperature`` stays (read benefit exceeds maintenance).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import TableSchema, table
+from repro.workloads.base import Query, WorkloadGenerator
+
+COMMUNITIES = 40
+
+
+class EpidemicWorkload(WorkloadGenerator):
+    """Figure 2's scenario, sized for laptop-scale runs."""
+
+    name = "epidemic"
+
+    def __init__(self, people: int = 8000, seed: int = 7):
+        self.people = people
+        self.seed = seed
+        self._next_id = people
+
+    def schemas(self) -> List[TableSchema]:
+        return [
+            table(
+                "people",
+                [
+                    ("id", T.INT),
+                    ("name", T.TEXT),
+                    ("community", T.INT),
+                    ("temperature", T.FLOAT),
+                    ("status", T.TEXT),
+                ],
+                primary_key=["id"],
+            )
+        ]
+
+    def load(self, db: Database) -> None:
+        rng = random.Random(self.seed)
+        rows = [
+            (
+                i,
+                f"person_{i}",
+                rng.randrange(COMMUNITIES),
+                round(36.0 + rng.random() * 5.0, 1),
+                rng.choice(("healthy", "suspect", "confirmed")),
+            )
+            for i in range(self.people)
+        ]
+        db.load_rows("people", rows)
+
+    def default_indexes(self) -> List[IndexDef]:
+        return []
+
+    # -- phases --------------------------------------------------------------
+
+    def queries(self, count: int, seed: int = 0) -> List[Query]:
+        """A mixed stream; use the phase methods for the Fig 2 story."""
+        per_phase = max(count // 3, 1)
+        return (
+            self.phase_w1(per_phase, seed)
+            + self.phase_w2(per_phase, seed + 1)
+            + self.phase_w3(count - 2 * per_phase, seed + 2)
+        )
+
+    def phase_w1(self, count: int, seed: int = 0) -> List[Query]:
+        """Random reads on temperature and community."""
+        rng = random.Random(seed)
+        queries: List[Query] = []
+        for _ in range(count):
+            roll = rng.random()
+            if roll < 0.3:
+                # Fever headcount: an index on temperature serves this
+                # with an index-only scan.
+                temp = round(38.5 + rng.random() * 2.0, 1)
+                queries.append(
+                    Query(
+                        sql=(
+                            "SELECT count(*) FROM people "
+                            f"WHERE temperature >= {temp}"
+                        ),
+                        kind="read",
+                    )
+                )
+            elif roll < 0.5:
+                # Critical cases: selective row fetch.
+                temp = round(40.4 + rng.random() * 0.5, 2)
+                queries.append(
+                    Query(
+                        sql=(
+                            "SELECT id, name FROM people "
+                            f"WHERE temperature >= {temp}"
+                        ),
+                        kind="read",
+                    )
+                )
+            else:
+                community = rng.randrange(COMMUNITIES)
+                queries.append(
+                    Query(
+                        sql=(
+                            "SELECT id, name, temperature FROM people "
+                            f"WHERE community = {community} "
+                            "AND status = 'confirmed'"
+                        ),
+                        kind="read",
+                    )
+                )
+        return queries
+
+    def phase_w2(self, count: int, seed: int = 0) -> List[Query]:
+        """Insert-heavy: new potentially-infected people, few reads."""
+        rng = random.Random(seed)
+        queries: List[Query] = []
+        for _ in range(count):
+            if rng.random() < 0.95:
+                pid = self._next_id
+                self._next_id += 1
+                community = rng.randrange(COMMUNITIES)
+                temp = round(36.0 + rng.random() * 5.0, 1)
+                queries.append(
+                    Query(
+                        sql=(
+                            "INSERT INTO people "
+                            "(id, name, community, temperature, status) "
+                            f"VALUES ({pid}, 'person_{pid}', {community}, "
+                            f"{temp}, 'suspect')"
+                        ),
+                        kind="write",
+                    )
+                )
+            else:
+                temp = round(39.0 + rng.random(), 1)
+                queries.append(
+                    Query(
+                        sql=(
+                            "SELECT count(*) FROM people "
+                            f"WHERE temperature >= {temp}"
+                        ),
+                        kind="read",
+                    )
+                )
+        return queries
+
+    def phase_w3(self, count: int, seed: int = 0) -> List[Query]:
+        """Update-heavy: refresh temperatures keyed by (name, community)."""
+        rng = random.Random(seed)
+        queries: List[Query] = []
+        for _ in range(count):
+            roll = rng.random()
+            if roll < 0.6:
+                pid = rng.randrange(self.people)
+                community = rng.randrange(COMMUNITIES)
+                temp = round(36.0 + rng.random() * 4.0, 1)
+                queries.append(
+                    Query(
+                        sql=(
+                            f"UPDATE people SET temperature = {temp} "
+                            f"WHERE name = 'person_{pid}' "
+                            f"AND community = {community}"
+                        ),
+                        kind="write",
+                    )
+                )
+            elif roll < 0.85:
+                temp = round(38.5 + rng.random() * 1.5, 1)
+                queries.append(
+                    Query(
+                        sql=(
+                            "SELECT count(*) FROM people "
+                            f"WHERE temperature >= {temp}"
+                        ),
+                        kind="read",
+                    )
+                )
+            else:
+                pid = rng.randrange(self.people)
+                community = rng.randrange(COMMUNITIES)
+                queries.append(
+                    Query(
+                        sql=(
+                            "SELECT temperature FROM people "
+                            f"WHERE name = 'person_{pid}' "
+                            f"AND community = {community}"
+                        ),
+                        kind="read",
+                    )
+                )
+        return queries

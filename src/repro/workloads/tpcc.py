@@ -1,0 +1,498 @@
+"""A scaled-down TPC-C generator (OLTP, 9 tables, 5 transaction types).
+
+The paper evaluates on TPC-C 1x/10x/100x. We preserve the schema, the
+transaction mix, and the access patterns while scaling row counts so
+the pure-Python substrate stays laptop-fast; the ``scale`` knob
+multiplies all data sizes. Notably, the generator keeps the access
+patterns that produce the paper's Table I indexes:
+
+* order-status looks up orders by customer → ``(o_c_id, o_w_id,
+  o_d_id)`` beats the (o_w_id, o_d_id, o_id) primary key;
+* stock-level counts low-stock items → an index on ``s_quantity``
+  enables an index-only scan, but every new-order transaction updates
+  ``s_quantity``, so its net benefit depends on the write mix —
+  exactly the read/write trade-off the estimator must learn;
+* payment looks customers up by last name → ``(c_w_id, c_d_id,
+  c_last)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import TableSchema, table
+from repro.workloads.base import Query, WorkloadGenerator, weighted_choice
+
+LAST_NAMES = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY",
+    "ATION", "EING", "BARBAR", "OUGHTPRES", "ABLEESE", "PRIANTI",
+    "PRESCALLY", "ESEATION",
+]
+
+# Transaction mix (weights roughly follow the TPC-C specification).
+TXN_WEIGHTS = {
+    "new_order": 45.0,
+    "payment": 43.0,
+    "order_status": 4.0,
+    "delivery": 4.0,
+    "stock_level": 4.0,
+}
+
+
+class TpccWorkload(WorkloadGenerator):
+    """TPC-C scenario with a row-count ``scale`` multiplier."""
+
+    name = "tpcc"
+
+    def __init__(self, scale: int = 1, seed: int = 11):
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        self.scale = scale
+        self.seed = seed
+        self.districts = 10
+        self.customers_per_district = 30 * scale
+        self.items = 500 * scale
+        self.orders_per_district = 30 * scale
+        self.lines_per_order = 5
+        # Counters used to mint fresh ids for generated inserts.
+        self._next_o_id = [
+            self.orders_per_district + 1 for _ in range(self.districts)
+        ]
+        self._next_h_id = self.districts * self.customers_per_district + 1
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+
+    def schemas(self) -> List[TableSchema]:
+        return [
+            table(
+                "warehouse",
+                [("w_id", T.INT), ("w_name", T.TEXT), ("w_tax", T.FLOAT),
+                 ("w_ytd", T.FLOAT)],
+                primary_key=["w_id"],
+            ),
+            table(
+                "district",
+                [("d_w_id", T.INT), ("d_id", T.INT), ("d_name", T.TEXT),
+                 ("d_tax", T.FLOAT), ("d_ytd", T.FLOAT),
+                 ("d_next_o_id", T.INT)],
+                primary_key=["d_w_id", "d_id"],
+            ),
+            table(
+                "customer",
+                [("c_w_id", T.INT), ("c_d_id", T.INT), ("c_id", T.INT),
+                 ("c_first", T.TEXT), ("c_last", T.TEXT),
+                 ("c_credit", T.TEXT), ("c_discount", T.FLOAT),
+                 ("c_balance", T.FLOAT), ("c_payment_cnt", T.INT)],
+                primary_key=["c_w_id", "c_d_id", "c_id"],
+            ),
+            table(
+                "history",
+                [("h_id", T.INT), ("h_c_w_id", T.INT), ("h_c_d_id", T.INT),
+                 ("h_c_id", T.INT), ("h_amount", T.FLOAT),
+                 ("h_data", T.TEXT)],
+                primary_key=["h_id"],
+            ),
+            table(
+                "orders",
+                [("o_w_id", T.INT), ("o_d_id", T.INT), ("o_id", T.INT),
+                 ("o_c_id", T.INT), ("o_carrier_id", T.INT),
+                 ("o_ol_cnt", T.INT), ("o_entry_d", T.INT)],
+                primary_key=["o_w_id", "o_d_id", "o_id"],
+            ),
+            table(
+                "new_order",
+                [("no_w_id", T.INT), ("no_d_id", T.INT), ("no_o_id", T.INT)],
+                primary_key=["no_w_id", "no_d_id", "no_o_id"],
+            ),
+            table(
+                "order_line",
+                [("ol_w_id", T.INT), ("ol_d_id", T.INT), ("ol_o_id", T.INT),
+                 ("ol_number", T.INT), ("ol_i_id", T.INT),
+                 ("ol_quantity", T.INT), ("ol_amount", T.FLOAT)],
+                primary_key=["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+            ),
+            table(
+                "item",
+                [("i_id", T.INT), ("i_name", T.TEXT), ("i_price", T.FLOAT),
+                 ("i_data", T.TEXT)],
+                primary_key=["i_id"],
+            ),
+            table(
+                "stock",
+                [("s_w_id", T.INT), ("s_i_id", T.INT), ("s_quantity", T.INT),
+                 ("s_ytd", T.INT), ("s_order_cnt", T.INT)],
+                primary_key=["s_w_id", "s_i_id"],
+            ),
+        ]
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+
+    def load(self, db: Database) -> None:
+        rng = random.Random(self.seed)
+        db.load_rows("warehouse", [(1, "W_ONE", 0.08, 300000.0)])
+        db.load_rows(
+            "district",
+            [
+                (1, d, f"D{d}", round(rng.random() * 0.2, 3), 30000.0,
+                 self.orders_per_district + 1)
+                for d in range(1, self.districts + 1)
+            ],
+        )
+        customers = []
+        for d in range(1, self.districts + 1):
+            for c in range(1, self.customers_per_district + 1):
+                customers.append(
+                    (
+                        1, d, c,
+                        f"first_{c}",
+                        LAST_NAMES[rng.randrange(len(LAST_NAMES))],
+                        rng.choice(("GC", "BC")),
+                        round(rng.random() * 0.5, 4),
+                        round(rng.random() * 1000 - 500, 2),
+                        rng.randrange(5),
+                    )
+                )
+        db.load_rows("customer", customers)
+
+        history = [
+            (h, 1, rng.randrange(1, self.districts + 1),
+             rng.randrange(1, self.customers_per_district + 1),
+             10.0, "initial")
+            for h in range(1, len(customers) + 1)
+        ]
+        db.load_rows("history", history)
+
+        db.load_rows(
+            "item",
+            [
+                (i, f"item_{i}", round(1 + rng.random() * 100, 2),
+                 f"data_{i % 17}")
+                for i in range(1, self.items + 1)
+            ],
+        )
+        db.load_rows(
+            "stock",
+            [
+                (1, i, rng.randrange(10, 101), 0, 0)
+                for i in range(1, self.items + 1)
+            ],
+        )
+
+        orders, new_orders, order_lines = [], [], []
+        for d in range(1, self.districts + 1):
+            for o in range(1, self.orders_per_district + 1):
+                c = rng.randrange(1, self.customers_per_district + 1)
+                carrier = rng.randrange(1, 11) if o % 3 else 0
+                orders.append((1, d, o, c, carrier, self.lines_per_order, o))
+                if o > self.orders_per_district - max(
+                    self.orders_per_district // 3, 1
+                ):
+                    new_orders.append((1, d, o))
+                for line in range(1, self.lines_per_order + 1):
+                    order_lines.append(
+                        (
+                            1, d, o, line,
+                            rng.randrange(1, self.items + 1),
+                            rng.randrange(1, 11),
+                            round(rng.random() * 100, 2),
+                        )
+                    )
+        db.load_rows("orders", orders)
+        db.load_rows("new_order", new_orders)
+        db.load_rows("order_line", order_lines)
+
+    def default_indexes(self) -> List[IndexDef]:
+        # The paper's Default config: primary-key indexes only (these
+        # are created automatically by create_table).
+        return []
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def queries(self, count: int, seed: int = 0) -> List[Query]:
+        rng = random.Random(self.seed * 1000003 + seed)
+        kinds = list(TXN_WEIGHTS)
+        weights = [TXN_WEIGHTS[k] for k in kinds]
+        queries: List[Query] = []
+        while len(queries) < count:
+            kind = kinds[weighted_choice(rng, weights)]
+            generator = getattr(self, f"_txn_{kind}")
+            queries.extend(generator(rng))
+        return queries[:count]
+
+    def _rand_district(self, rng: random.Random) -> int:
+        return rng.randrange(1, self.districts + 1)
+
+    def _rand_customer(self, rng: random.Random) -> int:
+        return rng.randrange(1, self.customers_per_district + 1)
+
+    def _rand_item(self, rng: random.Random) -> int:
+        return rng.randrange(1, self.items + 1)
+
+    def _txn_new_order(self, rng: random.Random) -> List[Query]:
+        d = self._rand_district(rng)
+        c = self._rand_customer(rng)
+        o_id = self._next_o_id[d - 1]
+        self._next_o_id[d - 1] += 1
+        lines = rng.randrange(2, 5)
+        queries = [
+            Query(
+                sql=(
+                    "SELECT c_discount, c_last, c_credit FROM customer "
+                    f"WHERE c_w_id = 1 AND c_d_id = {d} AND c_id = {c}"
+                ),
+                kind="read", tag="new_order",
+            ),
+            Query(sql="SELECT w_tax FROM warehouse WHERE w_id = 1",
+                  kind="read", tag="new_order"),
+            Query(
+                sql=(
+                    "SELECT d_tax, d_next_o_id FROM district "
+                    f"WHERE d_w_id = 1 AND d_id = {d}"
+                ),
+                kind="read", tag="new_order",
+            ),
+            Query(
+                sql=(
+                    "UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+                    f"WHERE d_w_id = 1 AND d_id = {d}"
+                ),
+                kind="write", tag="new_order",
+            ),
+            Query(
+                sql=(
+                    "INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, "
+                    "o_carrier_id, o_ol_cnt, o_entry_d) VALUES "
+                    f"(1, {d}, {o_id}, {c}, 0, {lines}, {o_id})"
+                ),
+                kind="write", tag="new_order",
+            ),
+            Query(
+                sql=(
+                    "INSERT INTO new_order (no_w_id, no_d_id, no_o_id) "
+                    f"VALUES (1, {d}, {o_id})"
+                ),
+                kind="write", tag="new_order",
+            ),
+        ]
+        for line in range(1, lines + 1):
+            i = self._rand_item(rng)
+            qty = rng.randrange(1, 11)
+            queries.extend(
+                [
+                    Query(
+                        sql=(
+                            "SELECT i_price, i_name FROM item "
+                            f"WHERE i_id = {i}"
+                        ),
+                        kind="read", tag="new_order",
+                    ),
+                    Query(
+                        sql=(
+                            "SELECT s_quantity FROM stock "
+                            f"WHERE s_w_id = 1 AND s_i_id = {i}"
+                        ),
+                        kind="read", tag="new_order",
+                    ),
+                    Query(
+                        sql=(
+                            "UPDATE stock SET s_quantity = "
+                            f"{rng.randrange(10, 101)}, "
+                            "s_order_cnt = s_order_cnt + 1 "
+                            f"WHERE s_w_id = 1 AND s_i_id = {i}"
+                        ),
+                        kind="write", tag="new_order",
+                    ),
+                    Query(
+                        sql=(
+                            "INSERT INTO order_line (ol_w_id, ol_d_id, "
+                            "ol_o_id, ol_number, ol_i_id, ol_quantity, "
+                            f"ol_amount) VALUES (1, {d}, {o_id}, {line}, "
+                            f"{i}, {qty}, {round(qty * rng.random() * 100, 2)})"
+                        ),
+                        kind="write", tag="new_order",
+                    ),
+                ]
+            )
+        return queries
+
+    def _txn_payment(self, rng: random.Random) -> List[Query]:
+        d = self._rand_district(rng)
+        amount = round(1 + rng.random() * 5000, 2)
+        h_id = self._next_h_id
+        self._next_h_id += 1
+        queries = [
+            Query(
+                sql=(
+                    f"UPDATE warehouse SET w_ytd = w_ytd + {amount} "
+                    "WHERE w_id = 1"
+                ),
+                kind="write", tag="payment",
+            ),
+            Query(
+                sql=(
+                    f"UPDATE district SET d_ytd = d_ytd + {amount} "
+                    f"WHERE d_w_id = 1 AND d_id = {d}"
+                ),
+                kind="write", tag="payment",
+            ),
+        ]
+        if rng.random() < 0.6:
+            last = LAST_NAMES[rng.randrange(len(LAST_NAMES))]
+            queries.append(
+                Query(
+                    sql=(
+                        "SELECT c_id, c_first, c_balance FROM customer "
+                        f"WHERE c_w_id = 1 AND c_d_id = {d} "
+                        f"AND c_last = '{last}' ORDER BY c_first"
+                    ),
+                    kind="read", tag="payment",
+                )
+            )
+        c = self._rand_customer(rng)
+        queries.extend(
+            [
+                Query(
+                    sql=(
+                        "UPDATE customer SET "
+                        f"c_balance = c_balance - {amount}, "
+                        "c_payment_cnt = c_payment_cnt + 1 "
+                        f"WHERE c_w_id = 1 AND c_d_id = {d} AND c_id = {c}"
+                    ),
+                    kind="write", tag="payment",
+                ),
+                Query(
+                    sql=(
+                        "INSERT INTO history (h_id, h_c_w_id, h_c_d_id, "
+                        f"h_c_id, h_amount, h_data) VALUES ({h_id}, 1, "
+                        f"{d}, {c}, {amount}, 'payment')"
+                    ),
+                    kind="write", tag="payment",
+                ),
+            ]
+        )
+        return queries
+
+    def _txn_order_status(self, rng: random.Random) -> List[Query]:
+        d = self._rand_district(rng)
+        c = self._rand_customer(rng)
+        return [
+            Query(
+                sql=(
+                    "SELECT c_first, c_last, c_balance FROM customer "
+                    f"WHERE c_w_id = 1 AND c_d_id = {d} AND c_id = {c}"
+                ),
+                kind="read", tag="order_status",
+            ),
+            Query(
+                sql=(
+                    "SELECT o_id, o_entry_d, o_carrier_id FROM orders "
+                    f"WHERE o_c_id = {c} AND o_w_id = 1 AND o_d_id = {d} "
+                    "ORDER BY o_id DESC LIMIT 1"
+                ),
+                kind="read", tag="order_status",
+            ),
+            Query(
+                sql=(
+                    "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line "
+                    f"WHERE ol_w_id = 1 AND ol_d_id = {d} "
+                    f"AND ol_o_id = {rng.randrange(1, self.orders_per_district + 1)}"
+                ),
+                kind="read", tag="order_status",
+            ),
+            # Cross-district order count for a customer id: benefits
+            # from the (o_c_id, o_d_id) combination index of Table I.
+            Query(
+                sql=(
+                    "SELECT count(*) FROM orders "
+                    f"WHERE o_c_id = {c} AND o_d_id = {d}"
+                ),
+                kind="read", tag="order_status",
+            ),
+        ]
+
+    def _txn_delivery(self, rng: random.Random) -> List[Query]:
+        d = self._rand_district(rng)
+        o = rng.randrange(
+            max(self.orders_per_district - self.orders_per_district // 3, 1),
+            self.orders_per_district + 1,
+        )
+        c = self._rand_customer(rng)
+        return [
+            Query(
+                sql=(
+                    "SELECT min(no_o_id) FROM new_order "
+                    f"WHERE no_w_id = 1 AND no_d_id = {d}"
+                ),
+                kind="read", tag="delivery",
+            ),
+            Query(
+                sql=(
+                    "DELETE FROM new_order WHERE no_w_id = 1 "
+                    f"AND no_d_id = {d} AND no_o_id = {o}"
+                ),
+                kind="write", tag="delivery",
+            ),
+            Query(
+                sql=(
+                    f"UPDATE orders SET o_carrier_id = {rng.randrange(1, 11)} "
+                    f"WHERE o_w_id = 1 AND o_d_id = {d} AND o_id = {o}"
+                ),
+                kind="write", tag="delivery",
+            ),
+            Query(
+                sql=(
+                    "SELECT sum(ol_amount) FROM order_line "
+                    f"WHERE ol_w_id = 1 AND ol_d_id = {d} AND ol_o_id = {o}"
+                ),
+                kind="read", tag="delivery",
+            ),
+            Query(
+                sql=(
+                    "UPDATE customer SET c_balance = c_balance + 10.0 "
+                    f"WHERE c_w_id = 1 AND c_d_id = {d} AND c_id = {c}"
+                ),
+                kind="write", tag="delivery",
+            ),
+        ]
+
+    def _txn_stock_level(self, rng: random.Random) -> List[Query]:
+        d = self._rand_district(rng)
+        threshold = rng.randrange(10, 21)
+        recent = max(self._next_o_id[d - 1] - 20, 1)
+        return [
+            Query(
+                sql=(
+                    "SELECT d_next_o_id FROM district "
+                    f"WHERE d_w_id = 1 AND d_id = {d}"
+                ),
+                kind="read", tag="stock_level",
+            ),
+            Query(
+                sql=(
+                    "SELECT count(DISTINCT ol_i_id) FROM order_line "
+                    f"WHERE ol_w_id = 1 AND ol_d_id = {d} "
+                    f"AND ol_o_id >= {recent}"
+                ),
+                kind="read", tag="stock_level",
+            ),
+            # Low-stock monitoring: an index-only scan on s_quantity
+            # serves this, but new-order keeps rewriting s_quantity —
+            # the paper's read-benefit vs maintenance-cost trade-off.
+            Query(
+                sql=(
+                    "SELECT count(*) FROM stock "
+                    f"WHERE s_quantity < {threshold}"
+                ),
+                kind="read", tag="stock_level",
+            ),
+        ]

@@ -1,0 +1,482 @@
+"""A scaled-down TPC-DS-style analytic workload (star schema).
+
+Preserves the properties the paper's TPC-DS evaluation depends on:
+
+* complex multi-join queries over a fact/dimension star schema, so
+  there are many index–query correlations;
+* per-query reporting (each query carries a ``q<i>`` tag) for the
+  Figure 6/7 execution-time-reduction plots;
+* a Q32-style query pair where two indexes (a selective dimension
+  filter and a fact foreign-key index) are far more valuable together
+  than either alone — the paper's motivating case for MCTS over
+  greedy selection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import TableSchema, table
+from repro.workloads.base import Query, WorkloadGenerator
+
+CATEGORIES = [
+    "Books", "Home", "Electronics", "Jewelry", "Men", "Music", "Shoes",
+    "Sports", "Toys", "Women",
+]
+STATES = ["CA", "NY", "TX", "WA", "IL", "GA", "OH", "MI", "PA", "FL"]
+
+
+class TpcdsWorkload(WorkloadGenerator):
+    """Star-schema OLAP scenario with a ``scale`` row multiplier."""
+
+    name = "tpcds"
+
+    def __init__(self, scale: int = 1, seed: int = 23):
+        self.scale = scale
+        self.seed = seed
+        self.dates = 730  # two years of days
+        self.items = 1500 * scale
+        self.customers = 2500 * scale
+        self.addresses = 1200 * scale
+        self.stores = 12
+        self.promos = 40
+        self.store_sales = 30000 * scale
+        self.catalog_sales = 15000 * scale
+        self.web_sales = 15000 * scale
+        self.manufacturers = 300
+
+    def schemas(self) -> List[TableSchema]:
+        return [
+            table(
+                "date_dim",
+                [("d_date_sk", T.INT), ("d_year", T.INT), ("d_moy", T.INT),
+                 ("d_dom", T.INT), ("d_qoy", T.INT)],
+                primary_key=["d_date_sk"],
+            ),
+            table(
+                "item",
+                [("i_item_sk", T.INT), ("i_category", T.TEXT),
+                 ("i_brand_id", T.INT), ("i_manufact_id", T.INT),
+                 ("i_current_price", T.FLOAT), ("i_class_id", T.INT)],
+                primary_key=["i_item_sk"],
+            ),
+            table(
+                "customer",
+                [("c_customer_sk", T.INT), ("c_birth_year", T.INT),
+                 ("c_preferred", T.BOOL), ("c_address_sk", T.INT)],
+                primary_key=["c_customer_sk"],
+            ),
+            table(
+                "customer_address",
+                [("ca_address_sk", T.INT), ("ca_state", T.TEXT),
+                 ("ca_city_id", T.INT)],
+                primary_key=["ca_address_sk"],
+            ),
+            table(
+                "store",
+                [("s_store_sk", T.INT), ("s_state", T.TEXT),
+                 ("s_floor_space", T.INT)],
+                primary_key=["s_store_sk"],
+            ),
+            table(
+                "promotion",
+                [("p_promo_sk", T.INT), ("p_channel_email", T.BOOL),
+                 ("p_cost", T.FLOAT)],
+                primary_key=["p_promo_sk"],
+            ),
+            table(
+                "store_sales",
+                [("ss_id", T.INT), ("ss_sold_date_sk", T.INT),
+                 ("ss_item_sk", T.INT), ("ss_customer_sk", T.INT),
+                 ("ss_store_sk", T.INT), ("ss_promo_sk", T.INT),
+                 ("ss_quantity", T.INT), ("ss_sales_price", T.FLOAT),
+                 ("ss_net_profit", T.FLOAT)],
+                primary_key=["ss_id"],
+            ),
+            table(
+                "catalog_sales",
+                [("cs_id", T.INT), ("cs_sold_date_sk", T.INT),
+                 ("cs_item_sk", T.INT), ("cs_bill_customer_sk", T.INT),
+                 ("cs_quantity", T.INT), ("cs_sales_price", T.FLOAT),
+                 ("cs_ext_discount_amt", T.FLOAT)],
+                primary_key=["cs_id"],
+            ),
+            table(
+                "web_sales",
+                [("ws_id", T.INT), ("ws_sold_date_sk", T.INT),
+                 ("ws_item_sk", T.INT), ("ws_bill_customer_sk", T.INT),
+                 ("ws_quantity", T.INT), ("ws_sales_price", T.FLOAT),
+                 ("ws_net_profit", T.FLOAT)],
+                primary_key=["ws_id"],
+            ),
+        ]
+
+    def load(self, db: Database) -> None:
+        rng = random.Random(self.seed)
+        db.load_rows(
+            "date_dim",
+            [
+                (sk, 2000 + sk // 365, 1 + (sk % 365) // 31,
+                 1 + sk % 28, 1 + ((sk % 365) // 92))
+                for sk in range(1, self.dates + 1)
+            ],
+        )
+        db.load_rows(
+            "item",
+            [
+                (sk,
+                 CATEGORIES[rng.randrange(len(CATEGORIES))],
+                 rng.randrange(1, 120),
+                 rng.randrange(1, self.manufacturers + 1),
+                 round(1 + rng.random() * 199, 2),
+                 rng.randrange(1, 16))
+                for sk in range(1, self.items + 1)
+            ],
+        )
+        db.load_rows(
+            "customer_address",
+            [
+                (sk, STATES[rng.randrange(len(STATES))],
+                 rng.randrange(1, 200))
+                for sk in range(1, self.addresses + 1)
+            ],
+        )
+        db.load_rows(
+            "customer",
+            [
+                (sk, rng.randrange(1930, 2001), rng.random() < 0.3,
+                 rng.randrange(1, self.addresses + 1))
+                for sk in range(1, self.customers + 1)
+            ],
+        )
+        db.load_rows(
+            "store",
+            [
+                (sk, STATES[rng.randrange(len(STATES))],
+                 rng.randrange(5000, 9000))
+                for sk in range(1, self.stores + 1)
+            ],
+        )
+        db.load_rows(
+            "promotion",
+            [
+                (sk, rng.random() < 0.5, round(rng.random() * 1000, 2))
+                for sk in range(1, self.promos + 1)
+            ],
+        )
+        db.load_rows(
+            "store_sales",
+            [
+                (i,
+                 rng.randrange(1, self.dates + 1),
+                 rng.randrange(1, self.items + 1),
+                 rng.randrange(1, self.customers + 1),
+                 rng.randrange(1, self.stores + 1),
+                 rng.randrange(1, self.promos + 1),
+                 rng.randrange(1, 101),
+                 round(rng.random() * 200, 2),
+                 round(rng.random() * 100 - 30, 2))
+                for i in range(1, self.store_sales + 1)
+            ],
+        )
+        db.load_rows(
+            "catalog_sales",
+            [
+                (i,
+                 rng.randrange(1, self.dates + 1),
+                 rng.randrange(1, self.items + 1),
+                 rng.randrange(1, self.customers + 1),
+                 rng.randrange(1, 101),
+                 round(rng.random() * 200, 2),
+                 round(rng.random() * 50, 2))
+                for i in range(1, self.catalog_sales + 1)
+            ],
+        )
+        db.load_rows(
+            "web_sales",
+            [
+                (i,
+                 rng.randrange(1, self.dates + 1),
+                 rng.randrange(1, self.items + 1),
+                 rng.randrange(1, self.customers + 1),
+                 rng.randrange(1, 101),
+                 round(rng.random() * 200, 2),
+                 round(rng.random() * 100 - 30, 2))
+                for i in range(1, self.web_sales + 1)
+            ],
+        )
+
+    def default_indexes(self) -> List[IndexDef]:
+        return []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def queries(self, count: int = 0, seed: int = 0) -> List[Query]:
+        """The full tagged query set (``count`` <= 0 returns all).
+
+        Queries are deterministic given the generator seed so that
+        per-query comparisons (Fig 6/7) are stable across advisor runs.
+        """
+        rng = random.Random(self.seed * 7919 + seed)
+        queries: List[Query] = []
+
+        def add(sql: str) -> None:
+            queries.append(Query(sql=sql, kind="read", tag=f"q{len(queries) + 1}"))
+
+        # Shape A: very selective fact filter on quantity (index-only
+        # count candidates on ss_quantity / cs_quantity).
+        for threshold in (3, 5, 7, 9):
+            add(
+                "SELECT count(*) FROM store_sales "
+                f"WHERE ss_quantity < {threshold}"
+            )
+        for threshold in (4, 6, 8):
+            add(
+                "SELECT count(*) FROM catalog_sales "
+                f"WHERE cs_quantity < {threshold}"
+            )
+
+        # Shape B: top-price fact rows (range candidates on price).
+        for price in (198.0, 198.5, 199.0, 199.5):
+            add(
+                "SELECT ss_item_sk, ss_sales_price FROM store_sales "
+                f"WHERE ss_sales_price > {price}"
+            )
+        for price in (198.0, 199.0):
+            add(
+                "SELECT cs_item_sk, cs_sales_price FROM catalog_sales "
+                f"WHERE cs_sales_price > {price}"
+            )
+
+        # Shape C: selective manufacturer drill into the fact table —
+        # the Q32-style pair: needs BOTH item(i_manufact_id) and
+        # catalog_sales(cs_item_sk) to beat a pair of seq scans.
+        for manufact in rng.sample(range(1, self.manufacturers + 1), 6):
+            add(
+                "SELECT sum(cs_ext_discount_amt) FROM catalog_sales, item "
+                f"WHERE i_manufact_id = {manufact} "
+                "AND cs_item_sk = i_item_sk"
+            )
+        for manufact in rng.sample(range(1, self.manufacturers + 1), 4):
+            add(
+                "SELECT count(*) FROM store_sales, item "
+                f"WHERE i_manufact_id = {manufact} "
+                "AND ss_item_sk = i_item_sk AND ss_quantity < 50"
+            )
+
+        # Shape D: brand drill (selective i_brand_id).
+        for brand in rng.sample(range(1, 120), 5):
+            add(
+                "SELECT sum(ss_net_profit) FROM store_sales, item "
+                f"WHERE i_brand_id = {brand} AND ss_item_sk = i_item_sk"
+            )
+
+        # Shape E: narrow date window joined to the fact table
+        # (candidates: date_dim(d_year,d_moy,d_dom) and fact fk index).
+        for (year, moy) in ((2000, 3), (2000, 7), (2001, 2), (2001, 11)):
+            add(
+                "SELECT sum(ss_sales_price) FROM store_sales, date_dim "
+                f"WHERE d_year = {year} AND d_moy = {moy} AND d_dom < 4 "
+                "AND ss_sold_date_sk = d_date_sk"
+            )
+        for (year, moy) in ((2000, 5), (2001, 6)):
+            add(
+                "SELECT count(*) FROM catalog_sales, date_dim "
+                f"WHERE d_year = {year} AND d_moy = {moy} AND d_dom < 3 "
+                "AND cs_sold_date_sk = d_date_sk"
+            )
+
+        # Shape F: store + date composite on the fact table (composite
+        # candidate (ss_store_sk, ss_sold_date_sk)).
+        for store in rng.sample(range(1, self.stores + 1), 4):
+            lo = rng.randrange(1, self.dates - 10)
+            add(
+                "SELECT sum(ss_net_profit), count(*) FROM store_sales "
+                f"WHERE ss_store_sk = {store} "
+                f"AND ss_sold_date_sk BETWEEN {lo} AND {lo + 6}"
+            )
+
+        # Shape G: customer-state rollup through two dimensions.
+        for state in rng.sample(STATES, 4):
+            add(
+                "SELECT count(*) FROM customer, customer_address "
+                f"WHERE ca_state = '{state}' "
+                "AND c_address_sk = ca_address_sk "
+                "AND c_birth_year < 1945"
+            )
+
+        # Shape H: derived-table form of the manufacturer drill (the
+        # paper's 'subquery enhanced only when both indexes exist').
+        for manufact in rng.sample(range(1, self.manufacturers + 1), 4):
+            add(
+                "SELECT count(*) FROM catalog_sales, "
+                "(SELECT i_item_sk FROM item "
+                f"WHERE i_manufact_id = {manufact}) AS sel_items "
+                "WHERE cs_item_sk = sel_items.i_item_sk "
+                "AND cs_quantity < 60"
+            )
+
+        # Shape I: promotion effectiveness (small dims; low benefit —
+        # these are the queries an advisor should NOT index for).
+        for promo in rng.sample(range(1, self.promos + 1), 3):
+            add(
+                "SELECT count(*), sum(ss_sales_price) FROM store_sales "
+                f"WHERE ss_promo_sk = {promo} AND ss_quantity < 10"
+            )
+
+        # Shape J: grouped category report over a narrow date window.
+        for (year, qoy) in ((2000, 1), (2001, 3)):
+            add(
+                "SELECT i_category, count(*) AS cnt "
+                "FROM store_sales, item, date_dim "
+                "WHERE ss_item_sk = i_item_sk "
+                "AND ss_sold_date_sk = d_date_sk "
+                f"AND d_year = {year} AND d_qoy = {qoy} AND d_dom = 1 "
+                "GROUP BY i_category ORDER BY cnt DESC"
+            )
+
+        # Shape K: customer purchase lookups (fact fk on customer).
+        for _ in range(4):
+            customer = rng.randrange(1, self.customers + 1)
+            add(
+                "SELECT count(*), sum(ss_sales_price) FROM store_sales "
+                f"WHERE ss_customer_sk = {customer}"
+            )
+        for _ in range(3):
+            customer = rng.randrange(1, self.customers + 1)
+            add(
+                "SELECT count(*) FROM catalog_sales "
+                f"WHERE cs_bill_customer_sk = {customer}"
+            )
+
+        # Shape L: high-price selective items per class (dimension-only).
+        for class_id in rng.sample(range(1, 16), 3):
+            add(
+                "SELECT i_item_sk, i_current_price FROM item "
+                f"WHERE i_class_id = {class_id} "
+                "AND i_current_price > 195 ORDER BY i_current_price DESC"
+            )
+
+        # Shape M: brand activity in a narrow month (3-way join).
+        for brand in rng.sample(range(1, 120), 5):
+            year = rng.choice((2000, 2001))
+            moy = rng.randrange(1, 12)
+            add(
+                "SELECT count(*) FROM store_sales, item, date_dim "
+                f"WHERE i_brand_id = {brand} AND ss_item_sk = i_item_sk "
+                "AND ss_sold_date_sk = d_date_sk "
+                f"AND d_year = {year} AND d_moy = {moy}"
+            )
+
+        # Shape N: birth-cohort purchasing (customer dim + fact fk).
+        for birth in (1935, 1938, 1941, 1944):
+            add(
+                "SELECT count(*), sum(ss_sales_price) "
+                "FROM store_sales, customer "
+                "WHERE ss_customer_sk = c_customer_sk "
+                f"AND c_birth_year = {birth}"
+            )
+
+        # Shape O: preferred customers in one state (3-way dim chain).
+        for state in rng.sample(STATES, 3):
+            add(
+                "SELECT count(*) FROM customer, customer_address "
+                f"WHERE ca_state = '{state}' "
+                "AND c_address_sk = ca_address_sk "
+                "AND c_preferred = TRUE AND c_birth_year < 1950"
+            )
+
+        # Shape P: big-store profitability (small dim filter).
+        for floor in (8500, 8800):
+            add(
+                "SELECT count(*), sum(ss_net_profit) "
+                "FROM store_sales, store "
+                "WHERE ss_store_sk = s_store_sk "
+                f"AND s_floor_space > {floor}"
+            )
+
+        # Shape Q: cross-channel item comparison — the same selective
+        # item subset drives lookups into BOTH fact tables, so the
+        # (item filter, ss fk, cs fk) triple is only fully exploited
+        # when all three indexes exist (a stronger Q32-style synergy).
+        for manufact in rng.sample(range(1, self.manufacturers + 1), 5):
+            add(
+                "SELECT count(*) FROM store_sales, item "
+                f"WHERE i_manufact_id = {manufact} "
+                "AND ss_item_sk = i_item_sk"
+            )
+            add(
+                "SELECT sum(cs_sales_price) FROM catalog_sales, item "
+                f"WHERE i_manufact_id = {manufact} "
+                "AND cs_item_sk = i_item_sk AND cs_quantity < 80"
+            )
+
+        # Shape R: deep-discount catalog lines (selective range).
+        for amount in (49.0, 49.5, 49.8):
+            add(
+                "SELECT cs_item_sk, cs_ext_discount_amt FROM catalog_sales "
+                f"WHERE cs_ext_discount_amt > {amount}"
+            )
+
+        # Shape S: quarterly category mix (grouped 3-way join).
+        for (year, qoy) in ((2000, 2), (2001, 4)):
+            add(
+                "SELECT i_category, sum(ss_net_profit) AS profit "
+                "FROM store_sales, item, date_dim "
+                "WHERE ss_item_sk = i_item_sk "
+                "AND ss_sold_date_sk = d_date_sk "
+                f"AND d_year = {year} AND d_qoy = {qoy} AND d_dom = 2 "
+                "GROUP BY i_category ORDER BY profit DESC LIMIT 5"
+            )
+
+        # Shape T: low-quantity line items per narrow date window.
+        for _ in range(4):
+            day = rng.randrange(1, self.dates - 3)
+            add(
+                "SELECT count(*) FROM store_sales "
+                f"WHERE ss_sold_date_sk BETWEEN {day} AND {day + 2} "
+                "AND ss_quantity < 10"
+            )
+
+        # Shapes U-W: the web channel. A third fact table means no
+        # small set of fact indexes can cover every channel — the
+        # heterogeneity that separates budget-aware selection from
+        # top-k truncation.
+        for manufact in rng.sample(range(1, self.manufacturers + 1), 5):
+            add(
+                "SELECT sum(ws_sales_price) FROM web_sales, item "
+                f"WHERE i_manufact_id = {manufact} "
+                "AND ws_item_sk = i_item_sk"
+            )
+        for threshold in (4, 6, 8):
+            add(
+                "SELECT count(*) FROM web_sales "
+                f"WHERE ws_quantity < {threshold}"
+            )
+        for _ in range(4):
+            customer = rng.randrange(1, self.customers + 1)
+            add(
+                "SELECT count(*), sum(ws_sales_price) FROM web_sales "
+                f"WHERE ws_bill_customer_sk = {customer}"
+            )
+        for (year, moy) in ((2000, 9), (2001, 4)):
+            add(
+                "SELECT count(*) FROM web_sales, date_dim "
+                f"WHERE d_year = {year} AND d_moy = {moy} AND d_dom < 3 "
+                "AND ws_sold_date_sk = d_date_sk"
+            )
+        for brand in rng.sample(range(1, 120), 3):
+            add(
+                "SELECT sum(ws_net_profit) FROM web_sales, item "
+                f"WHERE i_brand_id = {brand} AND ws_item_sk = i_item_sk"
+            )
+
+        if count and count > 0:
+            return queries[:count]
+        return queries

@@ -1,0 +1,45 @@
+"""CLI entry point tests (list / argument handling; heavy experiment
+runs are covered by the benchmarks themselves)."""
+
+import pytest
+
+from repro.bench import cli
+
+
+class TestList:
+    def test_list_prints_all_experiments(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in cli._EXPERIMENTS:
+            assert key in out
+
+    def test_every_experiment_module_resolves(self):
+        for name in cli._EXPERIMENTS:
+            compute = cli._load(name)
+            assert callable(compute)
+
+
+class TestRunArguments:
+    def test_unknown_experiment_fails(self, capsys):
+        assert cli.main(["run", "nope"]) == 1
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_empty_run_is_an_error(self, capsys):
+        assert cli.main(["run"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestSummarise:
+    def test_nested_dict(self, capsys):
+        cli._summarise({"a": 1, "b": {"c": 2}})
+        out = capsys.readouterr().out
+        assert "a: 1" in out
+        assert "c: 2" in out
+
+    def test_tuple_of_dicts(self, capsys):
+        cli._summarise(({"x": 1}, {"y": 2}))
+        out = capsys.readouterr().out
+        assert "x: 1" in out and "y: 2" in out

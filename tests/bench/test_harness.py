@@ -1,0 +1,162 @@
+"""Benchmark harness tests."""
+
+import pytest
+
+from repro.bench.harness import (
+    AdvisorKind,
+    make_advisor,
+    prepare_database,
+    run_advisor_experiment,
+    run_per_query,
+    run_queries,
+)
+from repro.bench.reporting import (
+    format_figure_series,
+    format_table,
+    improvement_counts,
+    relative_change,
+)
+from repro.core.advisor import AutoIndexAdvisor
+from repro.core.baselines import DefaultAdvisor, GreedyAdvisor
+from repro.workloads import EpidemicWorkload
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    generator = EpidemicWorkload(people=800)
+    db = prepare_database(generator)
+    return generator, db
+
+
+class TestFactories:
+    def test_prepare_database_loads(self, prepared):
+        generator, db = prepared
+        assert db.table_row_count("people") == 800
+
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            (AdvisorKind.DEFAULT, DefaultAdvisor),
+            (AdvisorKind.GREEDY, GreedyAdvisor),
+            (AdvisorKind.AUTOINDEX, AutoIndexAdvisor),
+        ],
+    )
+    def test_make_advisor(self, prepared, kind, cls):
+        _generator, db = prepared
+        assert isinstance(make_advisor(kind, db), cls)
+
+    def test_hill_climb_flag(self, prepared):
+        _generator, db = prepared
+        advisor = make_advisor(AdvisorKind.HILL_CLIMB, db)
+        assert advisor.marginal
+
+
+class TestRunQueries:
+    def test_stats_accumulate(self, prepared):
+        generator, db = prepared
+        stats = run_queries(db, generator.phase_w1(20, seed=4))
+        assert stats.query_count == 20
+        assert stats.total_cost > 0
+        assert stats.read_cost == pytest.approx(stats.total_cost)
+
+    def test_write_split(self, prepared):
+        generator, db = prepared
+        stats = run_queries(db, generator.phase_w2(20, seed=4))
+        assert stats.write_cost > 0
+
+    def test_throughput_metric(self, prepared):
+        generator, db = prepared
+        stats = run_queries(db, generator.phase_w1(10, seed=5))
+        assert stats.throughput == pytest.approx(
+            1000.0 * stats.query_count / stats.total_cost
+        )
+
+    def test_advisor_observes(self, prepared):
+        generator, db = prepared
+        advisor = AutoIndexAdvisor(db)
+        run_queries(db, generator.phase_w1(15, seed=6), advisor)
+        assert len(advisor.store) >= 1
+
+    def test_per_query_costs(self, prepared):
+        generator, db = prepared
+        queries = generator.phase_w1(10, seed=7)
+        result = run_per_query(db, queries)
+        assert len(result.costs) >= 1
+        assert all(cost >= 0 for cost in result.costs.values())
+
+
+class TestExperiment:
+    def test_full_experiment_shape(self):
+        generator = EpidemicWorkload(people=600)
+        result = run_advisor_experiment(
+            generator,
+            AdvisorKind.AUTOINDEX,
+            train_queries=120,
+            test_queries=60,
+            mcts_iterations=25,
+        )
+        assert result.advisor == "AutoIndex"
+        assert result.test_stats.query_count == 60
+        assert result.index_bytes > 0
+        assert result.tuning is not None
+
+    def test_autoindex_beats_default_on_read_phase(self):
+        auto = run_advisor_experiment(
+            EpidemicWorkload(people=600), AdvisorKind.AUTOINDEX,
+            train_queries=120, test_queries=60, mcts_iterations=25,
+        )
+        default = run_advisor_experiment(
+            EpidemicWorkload(people=600), AdvisorKind.DEFAULT,
+            train_queries=120, test_queries=60,
+        )
+        assert auto.total_latency < default.total_latency
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 22222.0]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "22,222" in text
+
+    def test_format_figure_series(self):
+        text = format_figure_series(
+            "Fig X", ["1x", "10x"], {"AutoIndex": [1.0, 2.0]}
+        )
+        assert text.startswith("Fig X")
+        assert "AutoIndex" in text
+
+    def test_improvement_counts(self):
+        reductions = {"q1": 0.5, "q2": 0.2, "q3": 0.05, "q4": -0.1}
+        counts = improvement_counts(reductions)
+        assert counts[0.10] == 2
+        assert counts[0.30] == 1
+
+    def test_relative_change(self):
+        assert relative_change(100, 110) == pytest.approx(10.0)
+        assert relative_change(0, 5) == 0.0
+
+
+class TestQueryLevelExperiment:
+    def test_query_level_advisor_runs_experiment(self):
+        from repro.workloads import EpidemicWorkload
+
+        result = run_advisor_experiment(
+            EpidemicWorkload(people=500),
+            AdvisorKind.QUERY_LEVEL,
+            train_queries=60,
+            test_queries=30,
+            mcts_iterations=20,
+        )
+        assert result.advisor == "QueryLevel"
+        assert result.tuning.statements_analyzed >= 60
+
+    def test_without_defaults_builds_pk_only(self):
+        from repro.workloads import EpidemicWorkload
+
+        generator = EpidemicWorkload(people=300)
+        db = prepare_database(generator, with_defaults=False)
+        assert all(d.unique for d in db.index_defs())

@@ -1,0 +1,105 @@
+"""Shared fixtures: small, deterministic databases for fast tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+
+
+@pytest.fixture
+def empty_db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def people_db() -> Database:
+    """A 2000-row single-table database with mixed column types."""
+    db = Database()
+    db.create_table(
+        table(
+            "people",
+            [
+                ("id", T.INT),
+                ("name", T.TEXT),
+                ("community", T.INT),
+                ("temperature", T.FLOAT),
+                ("status", T.TEXT),
+            ],
+            primary_key=["id"],
+        )
+    )
+    rng = random.Random(7)
+    rows = [
+        (
+            i,
+            f"person_{i}",
+            rng.randrange(20),
+            round(36.0 + rng.random() * 5.0, 1),
+            rng.choice(("healthy", "suspect", "confirmed")),
+        )
+        for i in range(2000)
+    ]
+    db.load_rows("people", rows)
+    db.analyze()
+    return db
+
+
+@pytest.fixture
+def join_db() -> Database:
+    """Two joined tables (customers / orders) with an fk relationship."""
+    db = Database()
+    db.create_table(
+        table(
+            "customers",
+            [("cid", T.INT), ("name", T.TEXT), ("region", T.INT)],
+            primary_key=["cid"],
+        )
+    )
+    db.create_table(
+        table(
+            "orders",
+            [
+                ("oid", T.INT),
+                ("cid", T.INT),
+                ("amount", T.FLOAT),
+                ("status", T.TEXT),
+            ],
+            primary_key=["oid"],
+        )
+    )
+    rng = random.Random(13)
+    db.load_rows(
+        "customers",
+        [(i, f"cust_{i}", rng.randrange(8)) for i in range(500)],
+    )
+    db.load_rows(
+        "orders",
+        [
+            (
+                i,
+                rng.randrange(500),
+                round(rng.random() * 1000, 2),
+                rng.choice(("open", "paid", "void")),
+            )
+            for i in range(4000)
+        ],
+    )
+    db.analyze()
+    return db
+
+
+@pytest.fixture
+def indexed_join_db(join_db: Database) -> Database:
+    """join_db plus secondary indexes on the fk and filter columns."""
+    join_db.create_index(IndexDef(table="orders", columns=("cid",)))
+    join_db.create_index(
+        IndexDef(table="orders", columns=("status", "amount"))
+    )
+    join_db.analyze()
+    return join_db

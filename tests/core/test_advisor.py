@@ -1,0 +1,154 @@
+"""AutoIndexAdvisor integration tests."""
+
+import pytest
+
+from repro.core.advisor import AutoIndexAdvisor
+from repro.engine.index import IndexDef
+
+
+def observe_and_run(db, advisor, queries):
+    total = 0.0
+    for sql in queries:
+        total += db.execute(sql).cost
+        advisor.observe(sql)
+    return total
+
+
+READS = [
+    f"SELECT id FROM people WHERE community = {i % 10} AND status = 'x'"
+    for i in range(40)
+]
+WRITES = [
+    "INSERT INTO people (id, name, community, temperature, status) "
+    f"VALUES ({100000 + i}, 'w', 1, 37.0, 'y')"
+    for i in range(40)
+]
+
+
+class TestTuneRound:
+    def test_creates_beneficial_index(self, people_db):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40)
+        observe_and_run(people_db, advisor, READS)
+        report = advisor.tune()
+        assert any(
+            d.columns == ("community", "status") for d in report.created
+        )
+        assert people_db.has_index(
+            IndexDef(table="people", columns=("community", "status"))
+        )
+
+    def test_tuning_actually_helps(self, people_db):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40)
+        before = observe_and_run(people_db, advisor, READS)
+        advisor.tune()
+        after = sum(people_db.execute(sql).cost for sql in READS)
+        assert after < before * 0.8
+
+    def test_report_accounting(self, people_db):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40)
+        observe_and_run(people_db, advisor, READS)
+        report = advisor.tune()
+        assert report.templates_used >= 1
+        assert report.candidates_considered >= 1
+        assert report.estimator_calls > 0
+        assert report.elapsed_seconds >= 0
+        assert report.changed
+
+    def test_second_round_incremental(self, people_db):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40)
+        reads = [
+            f"SELECT id FROM people WHERE community = {i % 10} "
+            "AND status = 'suspect'"
+            for i in range(40)
+        ]
+        observe_and_run(people_db, advisor, reads)
+        first = advisor.tune()
+        assert any(
+            d.columns == ("community", "status") for d in first.created
+        )
+        # The workload flips to write-heavy on the indexed columns: the
+        # index's maintenance cost now outweighs its residual read
+        # benefit (the paper's W2 situation), so it must be dropped.
+        writes = [
+            "UPDATE people SET status = 'healthy', community = 2 "
+            f"WHERE id = {i}"
+            for i in range(300)
+        ]
+        observe_and_run(people_db, advisor, writes)
+        report = advisor.tune()
+        dropped = {d.columns for d in report.dropped}
+        assert ("community", "status") in dropped
+
+    def test_pk_never_dropped(self, people_db):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=30)
+        observe_and_run(people_db, advisor, WRITES)
+        advisor.tune()
+        assert people_db.has_index(
+            IndexDef(table="people", columns=("id",), name="pk_people",
+                     unique=True)
+        )
+
+    def test_budget_enforced(self, people_db):
+        advisor = AutoIndexAdvisor(
+            people_db, storage_budget=0, mcts_iterations=30
+        )
+        observe_and_run(people_db, advisor, READS)
+        report = advisor.tune()
+        assert report.created == []
+
+
+class TestTrigger:
+    def test_skip_when_not_forced_and_clean(self, people_db):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=30)
+        # A workload the pk already serves perfectly.
+        observe_and_run(
+            people_db,
+            advisor,
+            [f"SELECT name FROM people WHERE id = {i}" for i in range(30)],
+        )
+        report = advisor.tune(force=False, trigger_threshold=0.9)
+        assert report.skipped
+
+    def test_forced_tune_never_skips(self, people_db):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=30)
+        observe_and_run(people_db, advisor, READS[:5])
+        assert not advisor.tune(force=True).skipped
+
+
+class TestObservation:
+    def test_statements_analyzed_counts_templates_only(self, people_db):
+        advisor = AutoIndexAdvisor(people_db)
+        for sql in READS:  # 40 queries, 10 distinct literals, 1 template
+            advisor.observe(sql)
+        assert advisor.statements_analyzed == 1
+
+    def test_query_level_counts_every_statement(self, people_db):
+        from repro.core.baselines import QueryLevelAdvisor
+
+        advisor = QueryLevelAdvisor(people_db)
+        for sql in READS:
+            advisor.observe(sql)
+        assert advisor.statements_analyzed == len(READS)
+
+    def test_observe_queries_accepts_objects(self, people_db):
+        from repro.workloads.base import Query
+
+        advisor = AutoIndexAdvisor(people_db)
+        advisor.observe_queries([Query(sql=READS[0])])
+        assert len(advisor.store) == 1
+
+
+class TestEstimatorTraining:
+    def test_record_and_train_flow(self, people_db):
+        advisor = AutoIndexAdvisor(people_db)
+        for sql in READS[:20]:
+            result = people_db.execute(sql)
+            advisor.observe(sql)
+            advisor.record_execution(sql, result.cost)
+        metrics = advisor.train_estimator()
+        assert metrics is not None
+        assert metrics.samples == 20
+
+    def test_train_without_history_is_noop(self, people_db):
+        advisor = AutoIndexAdvisor(people_db)
+        assert advisor.train_estimator() is None

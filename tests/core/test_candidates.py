@@ -1,0 +1,240 @@
+"""Candidate index generation tests (paper Section IV-A)."""
+
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+from repro.core.templates import TemplateStore
+from repro.engine.index import IndexDef
+from repro.sql import parse
+
+
+@pytest.fixture
+def generator(people_db):
+    return CandidateGenerator(people_db.catalog)
+
+
+@pytest.fixture
+def join_generator(join_db):
+    return CandidateGenerator(join_db.catalog)
+
+
+def defs(generator, sql):
+    return generator.for_statement(parse(sql))
+
+
+class TestFilterCandidates:
+    def test_single_equality(self, generator):
+        result = defs(generator, "SELECT id FROM people WHERE community = 1")
+        assert IndexDef(table="people", columns=("community",)) in result
+
+    def test_conjunction_makes_composite(self, generator):
+        result = defs(
+            generator,
+            "SELECT id FROM people WHERE community = 1 AND status = 'x'",
+        )
+        # community (20 distinct) before status (3 distinct).
+        assert IndexDef(
+            table="people", columns=("community", "status")
+        ) in result
+
+    def test_eq_columns_ordered_by_distinct_count(self, generator):
+        result = defs(
+            generator,
+            "SELECT id FROM people WHERE status = 'x' AND community = 1",
+        )
+        assert result[0].columns == ("community", "status")
+
+    def test_range_column_goes_last(self, generator):
+        result = defs(
+            generator,
+            "SELECT id FROM people "
+            "WHERE temperature > 40.9 AND community = 1",
+        )
+        assert result[0].columns == ("community", "temperature")
+
+    def test_unselective_predicate_gated(self, generator):
+        # temperature > 36.1 matches nearly everything: no candidate.
+        result = defs(
+            generator, "SELECT id FROM people WHERE temperature > 36.1"
+        )
+        assert result == []
+
+    def test_selective_range_survives_gate(self, generator):
+        result = defs(
+            generator, "SELECT id FROM people WHERE temperature > 40.8"
+        )
+        assert IndexDef(table="people", columns=("temperature",)) in result
+
+    def test_paper_example6_same_candidates_for_both_forms(self, generator):
+        form1 = defs(
+            generator,
+            "SELECT id FROM people WHERE "
+            "(community = 1 AND status = 'x') "
+            "OR (community = 1 AND temperature > 40.9)",
+        )
+        form2 = defs(
+            generator,
+            "SELECT id FROM people WHERE community = 1 "
+            "AND (status = 'x' OR temperature > 40.9)",
+        )
+        assert set(form1) == set(form2)
+
+    def test_or_produces_separate_candidates(self, generator):
+        result = defs(
+            generator,
+            "SELECT id FROM people "
+            "WHERE community = 1 OR temperature > 40.9",
+        )
+        tables = {d.columns for d in result}
+        assert ("community",) in tables
+        assert ("temperature",) in tables
+
+
+class TestJoinCandidates:
+    def test_join_generates_fk_candidates(self, join_generator):
+        result = defs(
+            join_generator,
+            "SELECT c.name FROM customers c "
+            "JOIN orders o ON c.cid = o.cid WHERE c.region = 1",
+        )
+        assert IndexDef(table="orders", columns=("cid",)) in result
+        assert IndexDef(table="customers", columns=("cid",)) in result
+
+
+class TestGroupOrderCandidates:
+    def test_group_by_candidate(self, join_generator):
+        result = defs(
+            join_generator,
+            "SELECT region, count(*) FROM customers GROUP BY region",
+        )
+        assert IndexDef(table="customers", columns=("region",)) in result
+
+    def test_group_by_unique_column_skipped(self, join_generator):
+        result = defs(
+            join_generator,
+            "SELECT cid, count(*) FROM customers GROUP BY cid",
+        )
+        assert IndexDef(table="customers", columns=("cid",)) not in result
+
+    def test_order_by_candidate(self, join_generator):
+        result = defs(
+            join_generator,
+            "SELECT amount FROM orders ORDER BY amount",
+        )
+        assert IndexDef(table="orders", columns=("amount",)) in result
+
+
+class TestWriteStatements:
+    def test_update_where_candidates(self, generator):
+        result = defs(
+            generator,
+            "UPDATE people SET temperature = 40.0 WHERE community = 3",
+        )
+        assert IndexDef(table="people", columns=("community",)) in result
+
+    def test_delete_where_candidates(self, generator):
+        result = defs(generator, "DELETE FROM people WHERE community = 3")
+        assert IndexDef(table="people", columns=("community",)) in result
+
+    def test_insert_no_candidates(self, generator):
+        result = defs(
+            generator,
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (1, 'x', 1, 1.0, 'y')",
+        )
+        assert result == []
+
+
+class TestSubqueries:
+    def test_derived_table_candidates(self, join_generator):
+        result = defs(
+            join_generator,
+            "SELECT s.amount FROM "
+            "(SELECT cid, amount FROM orders WHERE status = 'void') AS s, "
+            "customers c WHERE c.cid = s.cid",
+        )
+        assert IndexDef(table="orders", columns=("status",)) in result
+
+    def test_in_subquery_candidates(self, join_generator):
+        result = defs(
+            join_generator,
+            "SELECT name FROM customers WHERE cid IN "
+            "(SELECT cid FROM orders WHERE amount > 999)",
+        )
+        assert IndexDef(table="orders", columns=("amount",)) in result
+
+
+class TestMergeAndFilter:
+    def make_templates(self, store_queries):
+        store = TemplateStore()
+        for sql in store_queries:
+            store.observe(sql)
+        return store.templates()
+
+    def test_prefix_merge_absorbs_narrow(self, generator):
+        templates = self.make_templates(
+            [
+                "SELECT id FROM people WHERE community = 1",
+                "SELECT id FROM people WHERE community = 1 AND status = 'x'",
+            ]
+        )
+        candidates = generator.generate(templates)
+        columns = [c.definition.columns for c in candidates]
+        assert ("community", "status") in columns
+        assert ("community",) not in columns
+
+    def test_merge_accumulates_support(self, generator):
+        templates = self.make_templates(
+            [
+                "SELECT id FROM people WHERE community = 1",
+                "SELECT id FROM people WHERE community = 1",
+                "SELECT id FROM people WHERE community = 2",
+            ]
+        )
+        candidates = generator.generate(templates)
+        assert candidates[0].support >= 3.0
+
+    def test_existing_indexes_excluded(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "status"))
+        )
+        generator = CandidateGenerator(people_db.catalog)
+        templates = self.make_templates(
+            ["SELECT id FROM people WHERE community = 1"]
+        )
+        # (community) is a prefix of the built (community, status).
+        assert generator.generate(templates) == []
+
+    def test_duplicate_candidates_merged(self, generator):
+        templates = self.make_templates(
+            [
+                "SELECT id FROM people WHERE community = 1",
+                "DELETE FROM people WHERE community = 5",
+            ]
+        )
+        candidates = generator.generate(templates)
+        keys = [c.definition.key for c in candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_sorted_by_support(self, generator):
+        templates = self.make_templates(
+            [
+                "SELECT id FROM people WHERE community = 1",
+                "SELECT id FROM people WHERE community = 2",
+                "SELECT id FROM people WHERE temperature > 40.9",
+            ]
+        )
+        candidates = generator.generate(templates)
+        supports = [c.support for c in candidates]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestColumnCap:
+    def test_max_columns_respected(self, people_db):
+        generator = CandidateGenerator(people_db.catalog, max_columns=2)
+        result = defs(
+            generator,
+            "SELECT id FROM people WHERE community = 1 AND status = 'x' "
+            "AND name = 'person_1' AND temperature > 40.9",
+        )
+        assert all(len(d.columns) <= 2 for d in result)

@@ -1,0 +1,99 @@
+"""Index diagnosis tests."""
+
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
+from repro.core.templates import TemplateStore
+from repro.engine.index import IndexDef
+
+
+def make_diagnosis(db, min_observations=1):
+    store = TemplateStore()
+    return (
+        IndexDiagnosis(
+            db, store, CandidateGenerator(db.catalog),
+            min_observations=min_observations,
+        ),
+        store,
+    )
+
+
+class TestClassification:
+    def test_rarely_used_detected(self, people_db):
+        unused = IndexDef(table="people", columns=("name",))
+        people_db.create_index(unused)
+        diagnosis, _store = make_diagnosis(people_db)
+        for _ in range(5):
+            people_db.execute("SELECT id FROM people WHERE id = 1")
+        report = diagnosis.diagnose(
+            protected=[d for d in people_db.index_defs() if d.unique]
+        )
+        assert unused in report.rarely_used
+
+    def test_negative_index_detected(self, people_db):
+        hot_write = IndexDef(table="people", columns=("temperature",))
+        people_db.create_index(hot_write)
+        diagnosis, _store = make_diagnosis(people_db)
+        # One lookup, many maintenance hits.
+        people_db.execute(
+            "SELECT count(*) FROM people WHERE temperature >= 41.0"
+        )
+        for i in range(40):
+            people_db.execute(
+                f"UPDATE people SET temperature = 39.0 WHERE id = {i}"
+            )
+        report = diagnosis.diagnose(
+            protected=[d for d in people_db.index_defs() if d.unique]
+        )
+        assert hot_write in report.negative
+
+    def test_missing_beneficial_from_templates(self, people_db):
+        diagnosis, store = make_diagnosis(people_db)
+        for i in range(10):
+            sql = f"SELECT id FROM people WHERE community = {i % 5} AND status = 'x'"
+            people_db.execute(sql)
+            store.observe(sql)
+        report = diagnosis.diagnose()
+        assert any(
+            d.columns == ("community", "status")
+            for d in report.missing_beneficial
+        )
+
+    def test_protected_not_reported(self, people_db):
+        diagnosis, _store = make_diagnosis(people_db)
+        for _ in range(5):
+            people_db.execute("SELECT count(*) FROM people")
+        report = diagnosis.diagnose(protected=people_db.index_defs())
+        assert report.rarely_used == []
+
+    def test_quiet_until_enough_observations(self, people_db):
+        people_db.create_index(IndexDef(table="people", columns=("name",)))
+        diagnosis, _store = make_diagnosis(people_db, min_observations=100)
+        people_db.execute("SELECT id FROM people WHERE id = 1")
+        report = diagnosis.diagnose()
+        assert report.considered == 0
+
+
+class TestTrigger:
+    def test_should_tune_on_high_ratio(self):
+        report = IndexProblemReport(
+            rarely_used=[IndexDef(table="t", columns=("a",))],
+            considered=2,
+        )
+        assert report.should_tune(threshold=0.1)
+
+    def test_no_tune_when_clean(self):
+        report = IndexProblemReport(considered=10)
+        assert not report.should_tune()
+
+    def test_regression_forces_tune(self):
+        report = IndexProblemReport(considered=10, regression=True)
+        assert report.should_tune()
+
+    def test_problem_ratio_counts_missing(self):
+        report = IndexProblemReport(
+            missing_beneficial=[IndexDef(table="t", columns=("a",))],
+            considered=0,
+        )
+        assert report.problem_ratio == 1.0

@@ -1,0 +1,227 @@
+"""Estimator tests: the deep regression, the what-if baseline, caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    BenefitEstimator,
+    DeepIndexEstimator,
+    WhatIfCostModel,
+)
+from repro.core.features import CostFeatures
+from repro.core.templates import TemplateStore
+from repro.engine.index import IndexDef
+
+
+def synthetic_dataset(n=300, seed=0):
+    """Features whose true cost is a weighted sum + noise."""
+    rng = np.random.default_rng(seed)
+    X = np.zeros((n, 5))
+    X[:, 0] = rng.uniform(10, 500, n)       # data cost
+    X[:, 3] = rng.integers(0, 2, n)          # is_write
+    X[:, 1] = X[:, 3] * rng.uniform(1, 20, n)
+    X[:, 2] = X[:, 3] * rng.uniform(1, 10, n)
+    X[:, 4] = X[:, 3] * rng.integers(0, 5, n)
+    y = 0.9 * X[:, 0] + 2.0 * X[:, 1] + 1.5 * X[:, 2] + rng.normal(
+        0, 2, n
+    )
+    return X, np.maximum(y, 0.1)
+
+
+class TestDeepIndexEstimator:
+    def test_fit_reduces_error_vs_untrained_guess(self):
+        X, y = synthetic_dataset()
+        model = DeepIndexEstimator(epochs=600)
+        metrics = model.fit(X, y)
+        assert metrics.samples == len(y)
+        assert metrics.mean_q_error < 2.0
+
+    def test_predictions_ordered_with_targets(self):
+        X, y = synthetic_dataset()
+        model = DeepIndexEstimator(epochs=600)
+        model.fit(X, y)
+        pred = model.predict(X)
+        corr = np.corrcoef(pred, y)[0, 1]
+        assert corr > 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DeepIndexEstimator().predict(np.zeros((1, 5)))
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            DeepIndexEstimator().fit(np.zeros((0, 5)), np.zeros(0))
+
+    def test_misaligned_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            DeepIndexEstimator().fit(np.zeros((5, 3)), np.zeros(4))
+
+    def test_deterministic_given_seed(self):
+        X, y = synthetic_dataset()
+        a = DeepIndexEstimator(seed=5)
+        b = DeepIndexEstimator(seed=5)
+        a.fit(X, y)
+        b.fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_predict_one_matches_batch(self):
+        X, y = synthetic_dataset()
+        model = DeepIndexEstimator()
+        model.fit(X, y)
+        features = CostFeatures(
+            data_cost=100.0, io_cost=5.0, cpu_cost=2.0,
+            is_write=True, num_affected_indexes=2,
+        )
+        single = model.predict_one(features)
+        batch = model.predict(features.as_array()[None, :])[0]
+        assert single == pytest.approx(batch)
+
+    def test_nine_fold_cross_validation(self):
+        X, y = synthetic_dataset(n=270)
+        model = DeepIndexEstimator(epochs=300)
+        folds = model.cross_validate(X, y, folds=9)
+        assert len(folds) == 9
+        assert sum(f.samples for f in folds) == 270
+        assert all(f.mean_q_error < 4.0 for f in folds)
+
+    def test_cv_needs_two_folds(self):
+        with pytest.raises(ValueError):
+            DeepIndexEstimator().cross_validate(
+                np.zeros((1, 5)), np.zeros(1), folds=2
+            )
+
+    def test_constant_feature_does_not_crash(self):
+        X, y = synthetic_dataset()
+        X[:, 4] = 7.0  # zero variance column
+        DeepIndexEstimator(epochs=50).fit(X, y)
+
+
+class TestWhatIfModel:
+    def test_sum_of_components(self):
+        model = WhatIfCostModel()
+        features = CostFeatures(
+            data_cost=10.0, io_cost=1.0, cpu_cost=2.0,
+            is_write=True, num_affected_indexes=1,
+        )
+        assert model.predict_one(features) == 13.0
+
+    def test_batch_predict(self):
+        model = WhatIfCostModel()
+        X = np.array([[1.0, 2.0, 3.0, 1.0, 1.0], [5.0, 0.0, 0.0, 0.0, 0.0]])
+        assert list(model.predict(X)) == [6.0, 5.0]
+
+
+class TestBenefitEstimator:
+    def make_templates(self, queries):
+        store = TemplateStore()
+        for sql in queries:
+            store.observe(sql)
+        return store.templates()
+
+    def test_benefit_positive_for_useful_index(self, people_db):
+        estimator = BenefitEstimator(people_db)
+        templates = self.make_templates(
+            ["SELECT id FROM people WHERE community = 1 AND status = 'x'"]
+            * 5
+        )
+        existing = people_db.index_defs()
+        config = existing + [
+            IndexDef(table="people", columns=("community", "status"))
+        ]
+        assert estimator.benefit(templates, existing, config) > 0
+
+    def test_benefit_negative_for_write_penalised_index(self, people_db):
+        estimator = BenefitEstimator(people_db)
+        templates = self.make_templates(
+            [
+                "INSERT INTO people (id, name, community, temperature, "
+                f"status) VALUES ({i}, 'x', 1, 37.0, 'y')"
+                for i in range(20)
+            ]
+        )
+        existing = people_db.index_defs()
+        config = existing + [
+            IndexDef(table="people", columns=("temperature",))
+        ]
+        assert estimator.benefit(templates, existing, config) < 0
+
+    def test_cache_hit_skips_estimate_call(self, people_db):
+        estimator = BenefitEstimator(people_db)
+        templates = self.make_templates(
+            ["SELECT id FROM people WHERE community = 1"]
+        )
+        config = people_db.index_defs()
+        estimator.query_cost(templates[0], config)
+        calls = estimator.estimate_calls
+        estimator.query_cost(templates[0], config)
+        assert estimator.estimate_calls == calls
+
+    def test_cache_keyed_on_relevant_indexes_only(self, people_db):
+        # Create a second table whose indexes are irrelevant here.
+        from repro.engine.schema import ColumnType as T
+        from repro.engine.schema import table
+
+        people_db.create_table(table("other", [("x", T.INT)]))
+        people_db.analyze("other")
+        estimator = BenefitEstimator(people_db)
+        templates = self.make_templates(
+            ["SELECT id FROM people WHERE community = 1"]
+        )
+        base_config = people_db.index_defs()
+        estimator.query_cost(templates[0], base_config)
+        calls = estimator.estimate_calls
+        extended = base_config + [IndexDef(table="other", columns=("x",))]
+        estimator.query_cost(templates[0], extended)
+        assert estimator.estimate_calls == calls  # cache hit
+
+    def test_workload_cost_weights_by_window(self, people_db):
+        estimator = BenefitEstimator(people_db)
+        store = TemplateStore()
+        for _ in range(10):
+            store.observe("SELECT id FROM people WHERE community = 1")
+        templates = store.templates()
+        heavy = estimator.workload_cost(templates, people_db.index_defs())
+        store.begin_tuning_window()
+        light = estimator.workload_cost(templates, people_db.index_defs())
+        assert heavy > light
+
+    def test_record_and_train(self, people_db):
+        estimator = BenefitEstimator(people_db)
+        for i in range(30):
+            sql = f"SELECT id FROM people WHERE community = {i % 10}"
+            result = people_db.execute(sql)
+            estimator.record_execution(
+                people_db.parse_statement(sql), result.cost
+            )
+        metrics = estimator.train()
+        assert isinstance(estimator.model, DeepIndexEstimator)
+        assert metrics.samples == 30
+
+    def test_train_without_history_raises(self, people_db):
+        with pytest.raises(RuntimeError):
+            BenefitEstimator(people_db).train()
+
+    def test_trained_model_beats_or_matches_naive_on_history(self, people_db):
+        """The learned weights should fit measured costs at least as
+        well as the static sum (the paper's motivation for Section V-B)."""
+        estimator = BenefitEstimator(people_db)
+        people_db.create_index(
+            IndexDef(table="people", columns=("community",))
+        )
+        queries = []
+        for i in range(40):
+            queries.append(f"SELECT id FROM people WHERE community = {i % 20}")
+            queries.append(
+                "INSERT INTO people (id, name, community, temperature, "
+                f"status) VALUES ({10000 + i}, 'x', {i % 20}, 37.0, 'y')"
+            )
+        for sql in queries:
+            result = people_db.execute(sql)
+            estimator.record_execution(
+                people_db.parse_statement(sql), result.cost
+            )
+        X, y = estimator.training_matrix()
+        naive_error = np.mean(np.abs(WhatIfCostModel().predict(X) - y))
+        estimator.train()
+        learned_error = np.mean(np.abs(estimator.model.predict(X) - y))
+        assert learned_error <= naive_error * 1.05

@@ -1,0 +1,72 @@
+"""Estimator persistence and explain-analyze instrumentation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import DeepIndexEstimator
+
+
+def dataset(n=120, seed=2):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(1, 100, size=(n, 5))
+    y = X @ np.array([1.0, 2.0, 0.5, 0.1, 0.3]) + rng.normal(0, 1, n)
+    return X, np.maximum(y, 0.1)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        X, y = dataset()
+        model = DeepIndexEstimator(epochs=200)
+        model.fit(X, y)
+        path = tmp_path / "estimator.npz"
+        model.save(path)
+        restored = DeepIndexEstimator.load(path)
+        assert np.allclose(model.predict(X), restored.predict(X))
+
+    def test_save_untrained_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            DeepIndexEstimator().save(tmp_path / "x.npz")
+
+    def test_loaded_model_usable_in_benefit_estimator(
+        self, tmp_path, people_db
+    ):
+        from repro.core.estimator import BenefitEstimator
+        from repro.core.templates import TemplateStore
+
+        X, y = dataset()
+        model = DeepIndexEstimator(epochs=100)
+        model.fit(X, y)
+        path = tmp_path / "estimator.npz"
+        model.save(path)
+
+        estimator = BenefitEstimator(
+            people_db, model=DeepIndexEstimator.load(path)
+        )
+        store = TemplateStore()
+        store.observe("SELECT id FROM people WHERE community = 1")
+        cost = estimator.workload_cost(
+            store.templates(), people_db.index_defs()
+        )
+        assert cost > 0
+
+
+class TestExplainAnalyze:
+    def test_shows_estimate_and_actual(self, people_db):
+        text = people_db.explain_analyze(
+            "SELECT id FROM people WHERE community = 3"
+        )
+        assert "estimated cost:" in text
+        assert "actual cost:" in text
+        assert "seq_pages=" in text or "random_pages=" in text
+
+    def test_runs_the_statement(self, people_db):
+        before = people_db.monitor.total_queries
+        people_db.explain_analyze("SELECT count(*) FROM people")
+        assert people_db.monitor.total_queries == before + 1
+
+    def test_write_statement(self, people_db):
+        text = people_db.explain_analyze(
+            "UPDATE people SET status = 'x' WHERE id = 1"
+        )
+        assert "Update" in text
+        assert "actual cost:" in text

@@ -1,0 +1,132 @@
+"""Cost feature computation tests (paper Section V features)."""
+
+import pytest
+
+from repro.core.features import (
+    CostFeatures,
+    compute_features,
+    referenced_tables,
+)
+from repro.engine.index import IndexDef
+from repro.sql import parse
+
+
+class TestReadFeatures:
+    def test_select_has_no_maintenance(self, people_db):
+        features = compute_features(
+            people_db, parse("SELECT id FROM people WHERE community = 1")
+        )
+        assert features.io_cost == 0.0
+        assert features.cpu_cost == 0.0
+        assert not features.is_write
+        assert features.data_cost > 0
+
+    def test_index_lowers_data_cost(self, people_db):
+        stmt = parse(
+            "SELECT id FROM people WHERE community = 1 AND status = 'x'"
+        )
+        pk = people_db.index_defs()
+        bare = compute_features(people_db, stmt, pk)
+        indexed = compute_features(
+            people_db,
+            stmt,
+            pk + [IndexDef(table="people", columns=("community", "status"))],
+        )
+        assert indexed.data_cost < bare.data_cost
+
+
+class TestWriteFeatures:
+    def test_insert_counts_affected_indexes(self, people_db):
+        stmt = parse(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (1, 'x', 1, 1.0, 'y')"
+        )
+        config = people_db.index_defs() + [
+            IndexDef(table="people", columns=("community",)),
+            IndexDef(table="people", columns=("temperature",)),
+        ]
+        features = compute_features(people_db, stmt, config)
+        assert features.is_write
+        assert features.num_affected_indexes == 3
+        assert features.io_cost > 0
+        assert features.cpu_cost > 0
+
+    def test_update_only_touched_indexes(self, people_db):
+        stmt = parse("UPDATE people SET temperature = 40.0 WHERE id = 1")
+        config = people_db.index_defs() + [
+            IndexDef(table="people", columns=("community",)),
+            IndexDef(table="people", columns=("temperature",)),
+        ]
+        features = compute_features(people_db, stmt, config)
+        assert features.num_affected_indexes == 1
+
+    def test_delete_free_maintenance(self, people_db):
+        stmt = parse("DELETE FROM people WHERE id = 1")
+        config = people_db.index_defs() + [
+            IndexDef(table="people", columns=("community",))
+        ]
+        features = compute_features(people_db, stmt, config)
+        assert features.io_cost == 0.0
+        assert features.cpu_cost == 0.0
+
+    def test_maintenance_grows_with_config(self, people_db):
+        stmt = parse(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (1, 'x', 1, 1.0, 'y')"
+        )
+        small = compute_features(
+            people_db, stmt,
+            [IndexDef(table="people", columns=("community",))],
+        )
+        large = compute_features(
+            people_db, stmt,
+            [
+                IndexDef(table="people", columns=("community",)),
+                IndexDef(table="people", columns=("status",)),
+                IndexDef(table="people", columns=("name", "community")),
+            ],
+        )
+        assert large.cpu_cost > small.cpu_cost
+        assert large.io_cost > small.io_cost
+
+
+class TestVectorInterface:
+    def test_as_array_layout(self):
+        features = CostFeatures(
+            data_cost=1.0, io_cost=2.0, cpu_cost=3.0,
+            is_write=True, num_affected_indexes=4,
+        )
+        assert list(features.as_array()) == [1.0, 2.0, 3.0, 1.0, 4.0]
+
+    def test_naive_total(self):
+        features = CostFeatures(
+            data_cost=1.0, io_cost=2.0, cpu_cost=3.0,
+            is_write=False, num_affected_indexes=0,
+        )
+        assert features.naive_total == 6.0
+
+    def test_whatif_overlay_restored(self, people_db):
+        stmt = parse("SELECT id FROM people WHERE id = 1")
+        compute_features(
+            people_db, stmt,
+            [IndexDef(table="people", columns=("community",))],
+        )
+        assert not people_db.catalog.whatif_active
+
+
+class TestReferencedTables:
+    def test_select_tables(self):
+        stmt = parse("SELECT a FROM t1, t2 WHERE t1.x = t2.y")
+        assert referenced_tables(stmt) == ("t1", "t2")
+
+    def test_write_table(self):
+        assert referenced_tables(parse("UPDATE t SET a = 1")) == ("t",)
+        assert referenced_tables(
+            parse("INSERT INTO u (a) VALUES (1)")
+        ) == ("u",)
+
+    def test_subquery_tables_included(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)"
+        )
+        assert referenced_tables(stmt) == ("t", "u")

@@ -1,0 +1,271 @@
+"""MCTS index update tests: policy tree, UCB, budget, incrementality."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import BenefitEstimator
+from repro.core.mcts import Action, MctsIndexSelector, PolicyNode, PolicyTree
+from repro.core.templates import TemplateStore
+from repro.engine.index import IndexDef
+
+
+def make_templates(queries):
+    store = TemplateStore()
+    for sql in queries:
+        store.observe(sql)
+    return store.templates()
+
+
+@pytest.fixture
+def selector(people_db):
+    return MctsIndexSelector(
+        BenefitEstimator(people_db), iterations=50, rollouts=3, seed=3
+    )
+
+
+READ_QUERIES = [
+    "SELECT id FROM people WHERE community = 1 AND status = 'x'",
+    "SELECT count(*) FROM people WHERE temperature >= 39.5",
+] * 10
+
+
+class TestPolicyTree:
+    def test_reroot_creates_and_reuses(self):
+        tree = PolicyTree()
+        config = frozenset({("t", ("a",))})
+        first = tree.reroot(config)
+        second = tree.reroot(config)
+        assert first is second
+
+    def test_child_add_and_remove(self):
+        tree = PolicyTree()
+        root = tree.reroot(frozenset())
+        definition = IndexDef(table="t", columns=("a",))
+        child = tree.child(root, Action(kind="add", index=definition))
+        assert definition.key in child.config
+        back = tree.child(child, Action(kind="remove", index=definition))
+        assert back.config == root.config
+
+    def test_children_not_duplicated(self):
+        tree = PolicyTree()
+        root = tree.reroot(frozenset())
+        action = Action(kind="add", index=IndexDef(table="t", columns=("a",)))
+        tree.child(root, action)
+        tree.child(root, action)
+        assert len(root.children) == 1
+
+    def test_epoch_invalidates_benefits(self):
+        node = PolicyNode(frozenset())
+        node.own_benefit = 5.0
+        node.epoch = 0
+        tree = PolicyTree()
+        tree.new_epoch()
+        assert node.epoch != tree.epoch
+
+
+class TestSearch:
+    def test_finds_beneficial_index(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        result = selector.search(
+            existing=people_db.index_defs(),
+            candidates=[
+                IndexDef(table="people", columns=("community", "status")),
+                IndexDef(table="people", columns=("temperature",)),
+            ],
+            templates=templates,
+            protected=people_db.index_defs(),
+        )
+        added = {d.columns for d in result.additions}
+        assert ("community", "status") in added
+        assert ("temperature",) in added
+        assert result.best_benefit > 0
+
+    def test_useless_candidate_not_added(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        result = selector.search(
+            existing=people_db.index_defs(),
+            candidates=[IndexDef(table="people", columns=("name",))],
+            templates=templates,
+            protected=people_db.index_defs(),
+        )
+        assert result.additions == []
+
+    def test_removes_write_penalised_index(self, people_db, selector):
+        bad = IndexDef(table="people", columns=("temperature",))
+        people_db.create_index(bad)
+        templates = make_templates(
+            [
+                "INSERT INTO people (id, name, community, temperature, "
+                f"status) VALUES ({i}, 'x', 1, 37.0, 'y')"
+                for i in range(40)
+            ]
+        )
+        result = selector.search(
+            existing=people_db.index_defs(),
+            candidates=[],
+            templates=templates,
+            protected=[d for d in people_db.index_defs() if d.unique],
+        )
+        assert bad in result.removals
+
+    def test_protected_indexes_never_removed(self, people_db, selector):
+        templates = make_templates(
+            [
+                "INSERT INTO people (id, name, community, temperature, "
+                f"status) VALUES ({i}, 'x', 1, 37.0, 'y')"
+                for i in range(40)
+            ]
+        )
+        protected = people_db.index_defs()
+        result = selector.search(
+            existing=protected,
+            candidates=[],
+            templates=templates,
+            protected=protected,
+        )
+        assert result.removals == []
+
+    def test_budget_respected(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        candidates = [
+            IndexDef(table="people", columns=("community", "status")),
+            IndexDef(table="people", columns=("temperature",)),
+        ]
+        # Budget fits only (roughly) one index.
+        one_size = people_db.index_size_bytes(candidates[0])
+        result = selector.search(
+            existing=people_db.index_defs(),
+            candidates=candidates,
+            templates=templates,
+            budget_bytes=one_size + 1024,
+            protected=people_db.index_defs(),
+        )
+        total = sum(
+            people_db.index_size_bytes(d) for d in result.additions
+        )
+        assert total <= one_size + 1024
+        assert len(result.additions) <= 1
+
+    def test_zero_budget_adds_nothing(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        result = selector.search(
+            existing=people_db.index_defs(),
+            candidates=[
+                IndexDef(table="people", columns=("community", "status"))
+            ],
+            templates=templates,
+            budget_bytes=0,
+            protected=people_db.index_defs(),
+        )
+        assert result.additions == []
+
+    def test_result_accounting(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        result = selector.search(
+            existing=people_db.index_defs(),
+            candidates=[
+                IndexDef(table="people", columns=("community", "status"))
+            ],
+            templates=templates,
+            protected=people_db.index_defs(),
+        )
+        assert result.iterations >= 1
+        assert result.evaluations >= 1
+        assert result.baseline_cost > 0
+        assert 0 <= result.relative_improvement <= 1
+
+    def test_deterministic_given_seed(self, people_db):
+        def run():
+            selector = MctsIndexSelector(
+                BenefitEstimator(people_db),
+                iterations=30,
+                rollouts=2,
+                seed=11,
+            )
+            result = selector.search(
+                existing=people_db.index_defs(),
+                candidates=[
+                    IndexDef(table="people", columns=("community", "status")),
+                    IndexDef(table="people", columns=("temperature",)),
+                    IndexDef(table="people", columns=("name",)),
+                ],
+                templates=make_templates(READ_QUERIES),
+                protected=people_db.index_defs(),
+            )
+            return sorted(d.key for d in result.best_config)
+
+        assert run() == run()
+
+
+class TestIncrementalReuse:
+    def test_tree_persists_across_rounds(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        existing = people_db.index_defs()
+        candidates = [
+            IndexDef(table="people", columns=("community", "status"))
+        ]
+        selector.search(
+            existing=existing, candidates=candidates,
+            templates=templates, protected=existing,
+        )
+        nodes_after_first = selector.tree.node_count()
+        selector.search(
+            existing=existing, candidates=candidates,
+            templates=templates, protected=existing,
+        )
+        assert selector.tree.node_count() >= nodes_after_first
+
+    def test_reroot_at_new_config(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        existing = people_db.index_defs()
+        new_index = IndexDef(table="people", columns=("community", "status"))
+        selector.search(
+            existing=existing, candidates=[new_index],
+            templates=templates, protected=existing,
+        )
+        # Second round pretends the index was applied.
+        selector.search(
+            existing=existing + [new_index], candidates=[],
+            templates=templates, protected=existing,
+        )
+        assert selector.tree.root.config == frozenset(
+            d.key for d in existing + [new_index]
+        )
+
+    def test_epoch_bumped_each_round(self, people_db, selector):
+        templates = make_templates(READ_QUERIES)
+        existing = people_db.index_defs()
+        first_epoch = selector.tree.epoch
+        selector.search(
+            existing=existing, candidates=[], templates=templates,
+            protected=existing,
+        )
+        assert selector.tree.epoch == first_epoch + 1
+
+
+class TestUtility:
+    def test_unvisited_node_is_infinite(self, people_db, selector):
+        selector._baseline_cost = 100.0
+        node = PolicyNode(frozenset())
+        assert selector._utility(node, total_visits=10) == math.inf
+
+    def test_exploration_decays_with_visits(self, people_db, selector):
+        selector._baseline_cost = 100.0
+        rarely = PolicyNode(frozenset())
+        rarely.visits = 1
+        rarely.subtree_best = 10.0
+        often = PolicyNode(frozenset())
+        often.visits = 50
+        often.subtree_best = 10.0
+        assert selector._utility(rarely, 100) > selector._utility(often, 100)
+
+    def test_benefit_increases_utility(self, people_db, selector):
+        selector._baseline_cost = 100.0
+        low = PolicyNode(frozenset())
+        low.visits = 10
+        low.subtree_best = 1.0
+        high = PolicyNode(frozenset())
+        high.visits = 10
+        high.subtree_best = 50.0
+        assert selector._utility(high, 100) > selector._utility(low, 100)

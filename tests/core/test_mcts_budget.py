@@ -1,0 +1,151 @@
+"""MCTS budget-repair unit tests (_fit_to_budget / _fill_budget / _prune)."""
+
+import pytest
+
+from repro.core.estimator import BenefitEstimator
+from repro.core.mcts import MctsIndexSelector
+from repro.core.templates import TemplateStore
+from repro.engine.index import IndexDef
+
+
+def make_templates(db, queries):
+    store = TemplateStore()
+    for sql in queries:
+        store.observe(sql)
+    return store.templates()
+
+
+@pytest.fixture
+def ready_selector(people_db):
+    """A selector with search state primed (as search() would set it)."""
+    selector = MctsIndexSelector(
+        BenefitEstimator(people_db), iterations=10, seed=5
+    )
+    templates = make_templates(
+        people_db,
+        ["SELECT id FROM people WHERE community = 1 AND status = 'x'"] * 5
+        + ["SELECT count(*) FROM people WHERE temperature >= 40.0"] * 5,
+    )
+    existing = people_db.index_defs()
+    candidates = [
+        IndexDef(table="people", columns=("community", "status")),
+        IndexDef(table="people", columns=("temperature",)),
+        IndexDef(table="people", columns=("name",)),  # useless
+    ]
+    selector._protected = {d.key for d in existing}
+    selector._universe = {d.key: d for d in existing}
+    for c in candidates:
+        selector._universe[c.key] = c
+    selector._candidates = candidates
+    selector._templates = templates
+    selector._baseline_cost = selector.estimator.workload_cost(
+        templates, existing
+    )
+    return selector, existing, candidates
+
+
+class TestFitToBudget:
+    def test_no_budget_is_identity(self, ready_selector):
+        selector, existing, candidates = ready_selector
+        selector._budget = None
+        config = frozenset(
+            d.key for d in existing + candidates
+        )
+        assert selector._fit_to_budget(config) == config
+
+    def test_shrinks_to_budget(self, ready_selector, people_db):
+        selector, existing, candidates = ready_selector
+        one_size = people_db.index_size_bytes(candidates[0])
+        selector._budget = one_size + 512
+        config = frozenset(d.key for d in existing + candidates)
+        fitted = selector._fit_to_budget(config)
+        assert selector._config_size(fitted) <= selector._budget
+
+    def test_keeps_protected(self, ready_selector, people_db):
+        selector, existing, candidates = ready_selector
+        selector._budget = 0
+        config = frozenset(d.key for d in existing + candidates)
+        fitted = selector._fit_to_budget(config)
+        for d in existing:
+            assert d.key in fitted
+
+    def test_drops_least_valuable_per_byte_first(
+        self, ready_selector, people_db
+    ):
+        selector, existing, candidates = ready_selector
+        # Budget fits two of the three candidates: the useless (name,)
+        # index must be the one sacrificed.
+        two_size = sum(
+            people_db.index_size_bytes(c) for c in candidates[:2]
+        )
+        selector._budget = two_size + 512
+        config = frozenset(d.key for d in existing + candidates)
+        fitted = selector._fit_to_budget(config)
+        assert candidates[0].key in fitted
+        assert candidates[1].key in fitted
+        assert candidates[2].key not in fitted
+
+
+class TestFillBudget:
+    def test_fills_unused_budget_with_beneficial_candidates(
+        self, ready_selector, people_db
+    ):
+        selector, existing, candidates = ready_selector
+        selector._budget = sum(
+            people_db.index_size_bytes(c) for c in candidates
+        ) + 4096
+        start = frozenset(d.key for d in existing)
+        filled = selector._fill_budget(start)
+        assert candidates[0].key in filled
+        assert candidates[1].key in filled
+
+    def test_never_adds_useless_candidates(
+        self, ready_selector, people_db
+    ):
+        selector, existing, candidates = ready_selector
+        selector._budget = 10 * 1024 * 1024
+        filled = selector._fill_budget(
+            frozenset(d.key for d in existing)
+        )
+        assert candidates[2].key not in filled
+
+    def test_respects_budget(self, ready_selector, people_db):
+        selector, existing, candidates = ready_selector
+        selector._budget = people_db.index_size_bytes(candidates[0]) + 512
+        filled = selector._fill_budget(
+            frozenset(d.key for d in existing)
+        )
+        assert selector._config_size(filled) <= selector._budget
+
+    def test_no_budget_is_identity(self, ready_selector):
+        selector, existing, _candidates = ready_selector
+        selector._budget = None
+        start = frozenset(d.key for d in existing)
+        assert selector._fill_budget(start) == start
+
+
+class TestPrune:
+    def test_removes_useless_addition(self, ready_selector):
+        selector, existing, candidates = ready_selector
+        selector._budget = None
+        config = frozenset(
+            d.key for d in existing
+        ) | {candidates[2].key}
+        pruned = selector._prune(config)
+        assert candidates[2].key not in pruned
+
+    def test_keeps_beneficial_indexes(self, ready_selector):
+        selector, existing, candidates = ready_selector
+        selector._budget = None
+        config = frozenset(d.key for d in existing) | {
+            candidates[0].key, candidates[1].key
+        }
+        pruned = selector._prune(config)
+        assert candidates[0].key in pruned
+        assert candidates[1].key in pruned
+
+    def test_never_prunes_protected(self, ready_selector):
+        selector, existing, _candidates = ready_selector
+        selector._budget = None
+        config = frozenset(d.key for d in existing)
+        assert selector._prune(config) == config

@@ -1,0 +1,97 @@
+"""Advisor/template-store persistence across restarts."""
+
+import json
+
+import pytest
+
+from repro.core.advisor import AutoIndexAdvisor
+from repro.core.estimator import DeepIndexEstimator
+from repro.core.templates import TemplateStore
+
+
+QUERIES = [
+    f"SELECT id FROM people WHERE community = {i % 10} AND status = 'x'"
+    for i in range(30)
+] + [
+    "INSERT INTO people (id, name, community, temperature, status) "
+    f"VALUES ({40000 + i}, 'w', 1, 37.0, 'y')"
+    for i in range(10)
+]
+
+
+class TestTemplateStoreRoundTrip:
+    def test_to_from_dict(self):
+        store = TemplateStore(capacity=100)
+        for sql in QUERIES:
+            store.observe(sql)
+        restored = TemplateStore.from_dict(store.to_dict())
+        assert len(restored) == len(store)
+        for template in store.templates():
+            twin = restored.get(template.fingerprint)
+            assert twin is not None
+            assert twin.frequency == template.frequency
+            assert twin.window_frequency == template.window_frequency
+            assert twin.is_write == template.is_write
+
+    def test_restored_statements_are_parsed(self):
+        store = TemplateStore()
+        store.observe("SELECT id FROM people WHERE community = 1")
+        restored = TemplateStore.from_dict(store.to_dict())
+        template = restored.templates()[0]
+        from repro.sql import ast
+
+        assert isinstance(template.statement, ast.Select)
+
+    def test_json_serializable(self):
+        store = TemplateStore()
+        for sql in QUERIES[:5]:
+            store.observe(sql)
+        text = json.dumps(store.to_dict())
+        restored = TemplateStore.from_dict(json.loads(text))
+        assert len(restored) == len(store)
+
+    def test_restored_store_keeps_matching(self):
+        store = TemplateStore()
+        store.observe("SELECT id FROM people WHERE community = 1")
+        restored = TemplateStore.from_dict(store.to_dict())
+        template = restored.observe(
+            "SELECT id FROM people WHERE community = 99"
+        )
+        assert template.frequency == 2.0  # matched the restored template
+
+
+class TestAdvisorStateRoundTrip:
+    def test_save_load_preserves_tuning_behaviour(
+        self, people_db, tmp_path
+    ):
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40, seed=3)
+        for sql in QUERIES:
+            people_db.execute(sql)
+            advisor.observe(sql)
+            advisor.record_execution(sql, people_db.execute(sql).cost)
+        advisor.train_estimator()
+        advisor.save_state(tmp_path)
+
+        # A "restarted" advisor on the same database.
+        fresh = AutoIndexAdvisor(people_db, mcts_iterations=40, seed=3)
+        fresh.load_state(tmp_path)
+        assert len(fresh.store) == len(advisor.store)
+        assert isinstance(fresh.estimator.model, DeepIndexEstimator)
+
+        report = fresh.tune()
+        assert any(
+            d.columns == ("community", "status") for d in report.created
+        )
+
+    def test_save_without_trained_model(self, people_db, tmp_path):
+        advisor = AutoIndexAdvisor(people_db)
+        advisor.observe(QUERIES[0])
+        advisor.save_state(tmp_path)
+        assert (tmp_path / "templates.json").exists()
+        assert not (tmp_path / "estimator.npz").exists()
+
+    def test_load_from_empty_directory_is_noop(self, people_db, tmp_path):
+        advisor = AutoIndexAdvisor(people_db)
+        advisor.observe(QUERIES[0])
+        advisor.load_state(tmp_path / "missing")
+        assert len(advisor.store) == 1

@@ -1,0 +1,99 @@
+"""Cost model constants and Section V formula tests."""
+
+import math
+
+import pytest
+
+from repro.engine.cost import (
+    CostParams,
+    CostTracker,
+    index_cpu_cost,
+    index_io_cost,
+    index_running_cost,
+    index_start_cost,
+    pages_fetched,
+)
+
+PARAMS = CostParams()
+
+
+class TestTracker:
+    def test_starts_at_zero(self):
+        assert CostTracker().total() == 0.0
+
+    def test_weighted_total(self):
+        tracker = CostTracker()
+        tracker.charge_seq_pages(10)
+        tracker.charge_random_pages(5)
+        tracker.charge_heap_tuples(100)
+        expected = (
+            10 * PARAMS.seq_page_cost
+            + 5 * PARAMS.random_page_cost
+            + 100 * PARAMS.cpu_tuple_cost
+        )
+        assert tracker.total(PARAMS) == pytest.approx(expected)
+
+    def test_add_accumulates(self):
+        a, b = CostTracker(), CostTracker()
+        a.charge_seq_pages(1)
+        b.charge_seq_pages(2)
+        a.add(b)
+        assert a.seq_pages == 3
+
+    def test_snapshot_is_independent(self):
+        a = CostTracker()
+        a.charge_operator_ops(1)
+        snap = a.snapshot()
+        a.charge_operator_ops(1)
+        assert snap.operator_ops == 1
+        assert a.operator_ops == 2
+
+
+class TestSectionVFormulas:
+    def test_io_cost(self):
+        assert index_io_cost(10, PARAMS) == 10 * PARAMS.seq_page_cost
+
+    def test_start_cost_formula(self):
+        n, h = 10000, 3
+        expected = (
+            math.ceil(math.log(n)) + (h + 1) * 50
+        ) * PARAMS.cpu_operator_cost
+        assert index_start_cost(n, h, PARAMS) == pytest.approx(expected)
+
+    def test_start_cost_small_tree(self):
+        assert index_start_cost(1, 1, PARAMS) == pytest.approx(
+            100 * PARAMS.cpu_operator_cost
+        )
+
+    def test_running_cost_linear(self):
+        assert index_running_cost(10, PARAMS) == pytest.approx(
+            10 * PARAMS.cpu_index_tuple_cost
+        )
+
+    def test_cpu_cost_is_sum(self):
+        assert index_cpu_cost(1000, 2, 5, PARAMS) == pytest.approx(
+            index_start_cost(1000, 2, PARAMS)
+            + index_running_cost(5, PARAMS)
+        )
+
+    def test_cost_grows_with_height(self):
+        assert index_cpu_cost(1000, 4, 1) > index_cpu_cost(1000, 2, 1)
+
+
+class TestPagesFetched:
+    def test_zero_rows(self):
+        assert pages_fetched(0, 100) == 0.0
+
+    def test_one_row_about_one_page(self):
+        assert pages_fetched(1, 1000) == pytest.approx(1.0, rel=0.01)
+
+    def test_capped_at_heap_pages(self):
+        assert pages_fetched(10**9, 100) == 100
+
+    def test_monotone_in_rows(self):
+        small = pages_fetched(10, 100)
+        large = pages_fetched(50, 100)
+        assert large > small
+
+    def test_never_exceeds_rows(self):
+        assert pages_fetched(5, 10000) <= 5.0001

@@ -1,0 +1,185 @@
+"""Database facade tests: DDL, loading, metrics, monitoring."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.metrics import QueryRecord
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+
+
+class TestDdl:
+    def test_create_table_adds_pk_index(self, empty_db):
+        empty_db.create_table(
+            table("t", [("a", T.INT), ("b", T.INT)], primary_key=["a"])
+        )
+        defs = empty_db.index_defs()
+        assert len(defs) == 1
+        assert defs[0].columns == ("a",)
+        assert defs[0].unique
+
+    def test_create_table_without_pk(self, empty_db):
+        empty_db.create_table(table("t", [("a", T.INT)]))
+        assert empty_db.index_defs() == []
+
+    def test_create_index_backfills(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("community",))
+        )
+        index = people_db.catalog.get_index(
+            IndexDef(table="people", columns=("community",))
+        )
+        assert index.entry_count == people_db.table_row_count("people")
+
+    def test_drop_index(self, people_db):
+        definition = IndexDef(table="people", columns=("community",))
+        people_db.create_index(definition)
+        people_db.drop_index(definition)
+        assert not people_db.has_index(definition)
+
+    def test_drop_table(self, people_db):
+        people_db.drop_table("people")
+        assert not people_db.catalog.has_table("people")
+
+
+class TestLoading:
+    def test_load_rows_counts(self, empty_db):
+        empty_db.create_table(table("t", [("a", T.INT)]))
+        assert empty_db.load_rows("t", [(i,) for i in range(10)]) == 10
+        assert empty_db.table_row_count("t") == 10
+
+    def test_load_rebuilds_existing_indexes(self, empty_db):
+        empty_db.create_table(
+            table("t", [("a", T.INT), ("b", T.INT)], primary_key=["a"])
+        )
+        empty_db.load_rows("t", [(i, i % 3) for i in range(50)])
+        empty_db.analyze()
+        assert empty_db.execute("SELECT b FROM t WHERE a = 7").scalar == 1
+
+    def test_analyze_populates_stats(self, empty_db):
+        empty_db.create_table(table("t", [("a", T.INT)]))
+        empty_db.load_rows("t", [(i % 5,) for i in range(100)])
+        empty_db.analyze()
+        stats = empty_db.catalog.stats("t")
+        assert stats.row_count == 100
+        assert stats.column("a").n_distinct == 5
+
+
+class TestExecution:
+    def test_execution_result_fields(self, people_db):
+        result = people_db.execute("SELECT id FROM people WHERE id < 5")
+        assert result.rowcount == 5
+        assert result.cost > 0
+        assert result.plan is not None
+
+    def test_scalar_none_for_empty(self, people_db):
+        assert people_db.execute(
+            "SELECT id FROM people WHERE id = -1"
+        ).scalar is None
+
+    def test_statement_cache_reuses_ast(self, people_db):
+        sql = "SELECT id FROM people WHERE id = 1"
+        first = people_db.parse_statement(sql)
+        second = people_db.parse_statement(sql)
+        assert first is second
+
+    def test_explain_renders_tree(self, people_db):
+        text = people_db.explain("SELECT id FROM people WHERE id = 1")
+        assert "IndexScan" in text or "SeqScan" in text
+        assert "cost=" in text
+
+    def test_write_cost_grows_with_indexes(self, people_db):
+        sql = (
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES ({pid}, 'x', 1, 37.0, 'y')"
+        )
+        bare = people_db.execute(sql.format(pid=90001)).cost
+        people_db.create_index(IndexDef(table="people", columns=("community",)))
+        people_db.create_index(IndexDef(table="people", columns=("temperature",)))
+        loaded = people_db.execute(sql.format(pid=90002)).cost
+        assert loaded > bare
+
+
+class TestMetrics:
+    def test_index_usage_counts_lookups(self, people_db):
+        people_db.execute("SELECT name FROM people WHERE id = 1")
+        usage = {
+            u.definition.columns: u for u in people_db.index_usage()
+        }
+        assert usage[("id",)].lookups >= 1
+
+    def test_index_usage_counts_maintenance(self, people_db):
+        people_db.create_index(IndexDef(table="people", columns=("community",)))
+        people_db.execute(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (91000, 'x', 1, 37.0, 'y')"
+        )
+        usage = {
+            u.definition.columns: u for u in people_db.index_usage()
+        }
+        assert usage[("community",)].maintenance_ops >= 1
+
+    def test_reset_index_usage(self, people_db):
+        people_db.execute("SELECT name FROM people WHERE id = 1")
+        people_db.reset_index_usage()
+        assert all(u.lookups == 0 for u in people_db.index_usage())
+
+    def test_monitor_records_queries(self, people_db):
+        before = people_db.monitor.total_queries
+        people_db.execute("SELECT id FROM people WHERE id = 1")
+        assert people_db.monitor.total_queries == before + 1
+
+    def test_monitor_regression_detection(self):
+        from repro.engine.metrics import WorkloadMonitor
+
+        monitor = WorkloadMonitor(window=10, regression_factor=1.2)
+        for _ in range(10):
+            monitor.record(QueryRecord("q", cost=1.0, is_write=False))
+        for _ in range(10):
+            monitor.record(QueryRecord("q", cost=5.0, is_write=False))
+        assert monitor.regression_detected()
+
+    def test_monitor_stable_workload_no_regression(self):
+        from repro.engine.metrics import WorkloadMonitor
+
+        monitor = WorkloadMonitor(window=10)
+        for _ in range(30):
+            monitor.record(QueryRecord("q", cost=1.0, is_write=False))
+        assert not monitor.regression_detected()
+
+
+class TestSizes:
+    def test_index_size_real_vs_hypothetical(self, people_db):
+        definition = IndexDef(table="people", columns=("community",))
+        hypo_size = people_db.index_size_bytes(definition)
+        people_db.create_index(definition)
+        real_size = people_db.index_size_bytes(definition)
+        assert hypo_size == pytest.approx(real_size, rel=0.3)
+
+    def test_total_index_bytes_sums(self, people_db):
+        base = people_db.total_index_bytes()
+        people_db.create_index(IndexDef(table="people", columns=("community",)))
+        assert people_db.total_index_bytes() > base
+
+
+class TestDeterminism:
+    def test_same_query_same_cost(self, people_db):
+        sql = "SELECT id FROM people WHERE community = 3"
+        first = people_db.execute(sql).cost
+        second = people_db.execute(sql).cost
+        assert first == second
+
+    def test_fresh_databases_identical(self):
+        def build():
+            db = Database()
+            db.create_table(
+                table("t", [("a", T.INT), ("b", T.INT)], primary_key=["a"])
+            )
+            db.load_rows("t", [(i, i * 7 % 13) for i in range(500)])
+            db.analyze()
+            return db.execute("SELECT count(*) FROM t WHERE b < 5")
+
+        first, second = build(), build()
+        assert first.rows == second.rows
+        assert first.cost == second.cost

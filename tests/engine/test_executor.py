@@ -1,0 +1,520 @@
+"""Executor correctness: SQL results vs Python-native oracles, plus
+index-scan/seq-scan agreement properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import Database
+from repro.engine.executor import ExecutionError
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+
+
+@pytest.fixture
+def db(people_db):
+    return people_db
+
+
+def rows_of(db):
+    return [row for _rid, row in db.catalog.table("people").heap.scan()]
+
+
+class TestFilters:
+    def test_equality(self, db):
+        got = db.execute("SELECT id FROM people WHERE community = 3").rows
+        want = [(r[0],) for r in rows_of(db) if r[2] == 3]
+        assert sorted(got) == sorted(want)
+
+    def test_range(self, db):
+        got = db.execute(
+            "SELECT id FROM people WHERE temperature > 40.0"
+        ).rows
+        want = [(r[0],) for r in rows_of(db) if r[3] > 40.0]
+        assert sorted(got) == sorted(want)
+
+    def test_between_inclusive(self, db):
+        got = db.execute(
+            "SELECT id FROM people WHERE community BETWEEN 3 AND 5"
+        ).rows
+        want = [(r[0],) for r in rows_of(db) if 3 <= r[2] <= 5]
+        assert sorted(got) == sorted(want)
+
+    def test_in_list(self, db):
+        got = db.execute(
+            "SELECT id FROM people WHERE community IN (1, 4, 19)"
+        ).rows
+        want = [(r[0],) for r in rows_of(db) if r[2] in (1, 4, 19)]
+        assert sorted(got) == sorted(want)
+
+    def test_like_prefix(self, db):
+        got = db.execute(
+            "SELECT id FROM people WHERE name LIKE 'person_19%'"
+        ).rows
+        want = [
+            (r[0],) for r in rows_of(db) if str(r[1]).startswith("person_19")
+        ]
+        assert sorted(got) == sorted(want)
+
+    def test_like_underscore(self, db):
+        got = db.execute(
+            "SELECT id FROM people WHERE name LIKE 'person__'"
+        ).rows
+        want = [(r[0],) for r in rows_of(db) if len(str(r[1])) == 8]
+        assert sorted(got) == sorted(want)
+
+    def test_and_or_combination(self, db):
+        got = db.execute(
+            "SELECT id FROM people WHERE (community = 1 OR community = 2) "
+            "AND status = 'confirmed'"
+        ).rows
+        want = [
+            (r[0],)
+            for r in rows_of(db)
+            if r[2] in (1, 2) and r[4] == "confirmed"
+        ]
+        assert sorted(got) == sorted(want)
+
+    def test_not(self, db):
+        got = db.execute(
+            "SELECT count(*) FROM people WHERE NOT community = 1"
+        ).scalar
+        want = sum(1 for r in rows_of(db) if r[2] != 1)
+        assert got == want
+
+    def test_ne(self, db):
+        got = db.execute(
+            "SELECT count(*) FROM people WHERE status <> 'healthy'"
+        ).scalar
+        want = sum(1 for r in rows_of(db) if r[4] != "healthy")
+        assert got == want
+
+
+class TestProjectionsAndShaping:
+    def test_select_star_column_order(self, db):
+        got = db.execute("SELECT * FROM people WHERE id = 5").rows
+        want = [r for r in rows_of(db) if r[0] == 5]
+        assert got == want
+
+    def test_expression_projection(self, db):
+        got = db.execute(
+            "SELECT id, temperature * 2 FROM people WHERE id = 7"
+        ).rows[0]
+        want = next(r for r in rows_of(db) if r[0] == 7)
+        assert got == (7, pytest.approx(want[3] * 2))
+
+    def test_order_by_asc(self, db):
+        got = db.execute(
+            "SELECT id FROM people WHERE community = 2 ORDER BY id"
+        ).rows
+        assert got == sorted(got)
+
+    def test_order_by_desc_limit(self, db):
+        got = db.execute(
+            "SELECT id FROM people ORDER BY id DESC LIMIT 5"
+        ).rows
+        assert [r[0] for r in got] == [1999, 1998, 1997, 1996, 1995]
+
+    def test_order_by_two_keys(self, db):
+        got = db.execute(
+            "SELECT community, id FROM people "
+            "WHERE community < 3 ORDER BY community, id DESC"
+        ).rows
+        want = sorted(
+            [(r[2], r[0]) for r in rows_of(db) if r[2] < 3],
+            key=lambda p: (p[0], -p[1]),
+        )
+        assert got == want
+
+    def test_distinct(self, db):
+        got = db.execute("SELECT DISTINCT community FROM people").rows
+        assert len(got) == len({r[2] for r in rows_of(db)})
+
+    def test_limit_zero(self, db):
+        assert db.execute("SELECT id FROM people LIMIT 0").rows == []
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM people").scalar == 2000
+
+    def test_sum_avg_min_max(self, db):
+        temps = [r[3] for r in rows_of(db)]
+        result = db.execute(
+            "SELECT sum(temperature), avg(temperature), "
+            "min(temperature), max(temperature) FROM people"
+        ).rows[0]
+        assert result[0] == pytest.approx(sum(temps))
+        assert result[1] == pytest.approx(sum(temps) / len(temps))
+        assert result[2] == min(temps)
+        assert result[3] == max(temps)
+
+    def test_group_by_counts(self, db):
+        got = dict(
+            db.execute(
+                "SELECT community, count(*) FROM people GROUP BY community"
+            ).rows
+        )
+        want = {}
+        for r in rows_of(db):
+            want[r[2]] = want.get(r[2], 0) + 1
+        assert got == want
+
+    def test_having(self, db):
+        got = db.execute(
+            "SELECT status, count(*) AS n FROM people "
+            "GROUP BY status HAVING n > 600"
+        ).rows
+        for _status, n in got:
+            assert n > 600
+
+    def test_count_distinct(self, db):
+        got = db.execute(
+            "SELECT count(DISTINCT community) FROM people"
+        ).scalar
+        assert got == len({r[2] for r in rows_of(db)})
+
+    def test_aggregate_on_empty_group(self, db):
+        result = db.execute(
+            "SELECT count(*), sum(temperature) FROM people WHERE id = -1"
+        ).rows[0]
+        assert result == (0, None)
+
+    def test_order_by_aggregate_alias(self, db):
+        got = db.execute(
+            "SELECT community, count(*) AS n FROM people "
+            "GROUP BY community ORDER BY n DESC LIMIT 3"
+        ).rows
+        counts = [n for _c, n in got]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestJoins:
+    def test_inner_join_matches_oracle(self, join_db):
+        got = join_db.execute(
+            "SELECT c.name, o.amount FROM customers c "
+            "JOIN orders o ON c.cid = o.cid WHERE c.region = 2 "
+            "AND o.amount > 900"
+        ).rows
+        customers = {
+            r[0]: r
+            for _rid, r in join_db.catalog.table("customers").heap.scan()
+        }
+        want = []
+        for _rid, o in join_db.catalog.table("orders").heap.scan():
+            c = customers.get(o[1])
+            if c and c[2] == 2 and o[2] > 900:
+                want.append((c[1], o[2]))
+        assert sorted(got) == sorted(want)
+
+    def test_join_agrees_with_and_without_indexes(
+        self, join_db, indexed_join_db
+    ):
+        sql = (
+            "SELECT c.cid, count(*) FROM customers c "
+            "JOIN orders o ON c.cid = o.cid "
+            "WHERE o.status = 'paid' GROUP BY c.cid ORDER BY c.cid"
+        )
+        assert join_db.execute(sql).rows == indexed_join_db.execute(sql).rows
+
+    def test_derived_table_join(self, join_db):
+        got = join_db.execute(
+            "SELECT c.name FROM customers c, "
+            "(SELECT cid, amount FROM orders WHERE amount > 995) AS big "
+            "WHERE c.cid = big.cid"
+        ).rows
+        customers = {
+            r[0]: r
+            for _rid, r in join_db.catalog.table("customers").heap.scan()
+        }
+        want = [
+            (customers[o[1]][1],)
+            for _rid, o in join_db.catalog.table("orders").heap.scan()
+            if o[2] > 995
+        ]
+        assert sorted(got) == sorted(want)
+
+    def test_in_subquery(self, join_db):
+        got = join_db.execute(
+            "SELECT count(*) FROM customers WHERE cid IN "
+            "(SELECT cid FROM orders WHERE amount > 998)"
+        ).scalar
+        cids = {
+            o[1]
+            for _rid, o in join_db.catalog.table("orders").heap.scan()
+            if o[2] > 998
+        }
+        assert got == len(cids)
+
+    def test_scalar_subquery(self, join_db):
+        got = join_db.execute(
+            "SELECT count(*) FROM orders WHERE amount > "
+            "(SELECT max(amount) FROM orders) - 10"
+        ).scalar
+        amounts = [
+            o[2] for _rid, o in join_db.catalog.table("orders").heap.scan()
+        ]
+        want = sum(1 for a in amounts if a > max(amounts) - 10)
+        assert got == want
+
+
+class TestWriteStatements:
+    def test_insert_visible(self, db):
+        db.execute(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (50000, 'new', 3, 37.0, 'healthy')"
+        )
+        assert db.execute(
+            "SELECT name FROM people WHERE id = 50000"
+        ).rows == [("new",)]
+
+    def test_insert_maintains_indexes(self, db):
+        db.create_index(IndexDef(table="people", columns=("community",)))
+        db.execute(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (50001, 'new', 777, 37.0, 'healthy')"
+        )
+        got = db.execute(
+            "SELECT id FROM people WHERE community = 777"
+        ).rows
+        assert got == [(50001,)]
+
+    def test_update_changes_value(self, db):
+        db.execute("UPDATE people SET temperature = 41.5 WHERE id = 3")
+        assert db.execute(
+            "SELECT temperature FROM people WHERE id = 3"
+        ).scalar == 41.5
+
+    def test_update_arithmetic_on_column(self, db):
+        before = db.execute(
+            "SELECT temperature FROM people WHERE id = 4"
+        ).scalar
+        db.execute(
+            "UPDATE people SET temperature = temperature + 1.0 WHERE id = 4"
+        )
+        after = db.execute(
+            "SELECT temperature FROM people WHERE id = 4"
+        ).scalar
+        assert after == pytest.approx(before + 1.0)
+
+    def test_update_maintains_index(self, db):
+        db.create_index(IndexDef(table="people", columns=("community",)))
+        db.execute("UPDATE people SET community = 555 WHERE id = 10")
+        assert (10,) in db.execute(
+            "SELECT id FROM people WHERE community = 555"
+        ).rows
+
+    def test_update_rowcount(self, db):
+        result = db.execute(
+            "UPDATE people SET status = 'x' WHERE community = 1"
+        )
+        want = sum(1 for r in rows_of(db) if r[2] == 1)
+        assert result.rowcount == want
+
+    def test_delete_removes(self, db):
+        db.execute("DELETE FROM people WHERE id = 11")
+        assert db.execute(
+            "SELECT count(*) FROM people WHERE id = 11"
+        ).scalar == 0
+
+    def test_delete_maintains_index(self, db):
+        db.create_index(IndexDef(table="people", columns=("community",)))
+        target = db.execute(
+            "SELECT community FROM people WHERE id = 12"
+        ).scalar
+        before = db.execute(
+            f"SELECT count(*) FROM people WHERE community = {target}"
+        ).scalar
+        db.execute("DELETE FROM people WHERE id = 12")
+        after = db.execute(
+            f"SELECT count(*) FROM people WHERE community = {target}"
+        ).scalar
+        assert after == before - 1
+
+    def test_insert_explicit_nulls(self, db):
+        db.execute(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (50002, NULL, NULL, NULL, NULL)"
+        )
+        row = db.execute("SELECT * FROM people WHERE id = 50002").rows[0]
+        assert row == (50002, None, None, None, None)
+
+
+class TestNullSemantics:
+    def test_null_comparison_filters_out(self, db):
+        db.execute(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (60000, 'n', NULL, NULL, NULL)"
+        )
+        # NULL community must match neither = nor <>.
+        eq = db.execute(
+            "SELECT count(*) FROM people WHERE community = 1 "
+            "AND id = 60000"
+        ).scalar
+        ne = db.execute(
+            "SELECT count(*) FROM people WHERE community <> 1 "
+            "AND id = 60000"
+        ).scalar
+        assert eq == 0 and ne == 0
+
+    def test_is_null(self, db):
+        db.execute(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (60001, 'n', NULL, 37.0, 'x')"
+        )
+        got = db.execute(
+            "SELECT id FROM people WHERE community IS NULL"
+        ).rows
+        assert (60001,) in got
+
+    def test_aggregates_skip_nulls(self, db):
+        db.execute(
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (60002, 'n', 1, NULL, 'x')"
+        )
+        count_col = db.execute(
+            "SELECT count(temperature) FROM people"
+        ).scalar
+        count_star = db.execute("SELECT count(*) FROM people").scalar
+        assert count_col == count_star - 1
+
+
+class TestIndexConsistency:
+    """Index-scan plans must return exactly what seq scans return."""
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            "community = 7",
+            "community = 7 AND temperature > 39.0",
+            "community BETWEEN 2 AND 4",
+            "community = 1 AND status = 'suspect'",
+            "temperature >= 40.9",
+        ],
+    )
+    def test_same_results_with_index(self, people_db, predicate):
+        sql = f"SELECT id FROM people WHERE {predicate}"
+        before = sorted(people_db.execute(sql).rows)
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "temperature"))
+        )
+        people_db.create_index(
+            IndexDef(table="people", columns=("temperature",))
+        )
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "status"))
+        )
+        people_db.analyze()
+        after = sorted(people_db.execute(sql).rows)
+        assert before == after
+
+    def test_hypothetical_index_never_executes(self, people_db):
+        hypo = IndexDef(table="people", columns=("community",))
+        cost, plan = people_db.estimate_cost(
+            "SELECT id FROM people WHERE community = 1", [hypo]
+        )
+        assert cost > 0
+        # The real execution path must not see the hypothetical index.
+        result = people_db.execute(
+            "SELECT id FROM people WHERE community = 1"
+        )
+        assert result.rowcount > 0
+
+
+@given(
+    community=st.integers(-1, 25),
+    low=st.floats(min_value=35.0, max_value=42.0),
+    width=st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_index_and_seq_agree(community, low, width):
+    db = _property_db()
+    high = round(low + width, 1)
+    low = round(low, 1)
+    sql = (
+        "SELECT id FROM people "
+        f"WHERE community = {community} "
+        f"AND temperature BETWEEN {low} AND {high}"
+    )
+    with_index = sorted(db.execute(sql).rows)
+    masked = _property_db(indexed=False)
+    without = sorted(masked.execute(sql).rows)
+    assert with_index == without
+
+
+_CACHE = {}
+
+
+def _property_db(indexed=True):
+    key = bool(indexed)
+    if key not in _CACHE:
+        db = Database()
+        db.create_table(
+            table(
+                "people",
+                [
+                    ("id", T.INT),
+                    ("name", T.TEXT),
+                    ("community", T.INT),
+                    ("temperature", T.FLOAT),
+                ],
+                primary_key=["id"],
+            )
+        )
+        rng = random.Random(5)
+        db.load_rows(
+            "people",
+            [
+                (
+                    i,
+                    f"p{i}",
+                    rng.randrange(25),
+                    round(35.0 + rng.random() * 7.0, 1),
+                )
+                for i in range(1500)
+            ],
+        )
+        if indexed:
+            db.create_index(
+                IndexDef(
+                    table="people", columns=("community", "temperature")
+                )
+            )
+        db.analyze()
+        _CACHE[key] = db
+    return _CACHE[key]
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        from repro.engine.planner import PlanningError
+
+        with pytest.raises(PlanningError):
+            db.execute("SELECT a FROM missing")
+
+    def test_unknown_column(self, db):
+        from repro.engine.planner import PlanningError
+
+        with pytest.raises(PlanningError):
+            db.execute("SELECT nope FROM people")
+
+    def test_ambiguous_column(self, join_db):
+        from repro.engine.planner import PlanningError
+
+        with pytest.raises(PlanningError):
+            join_db.execute(
+                "SELECT cid FROM customers, orders "
+                "WHERE customers.cid = orders.cid"
+            )
+
+    def test_insert_non_literal_rejected(self, db):
+        from repro.engine.planner import PlanningError
+
+        with pytest.raises(PlanningError):
+            db.execute(
+                "INSERT INTO people (id, name, community, temperature, "
+                "status) VALUES (id, 'x', 1, 1.0, 'y')"
+            )

@@ -1,0 +1,185 @@
+"""Executor edge cases: empty inputs, NULL join keys, degenerate plans."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+
+
+@pytest.fixture
+def edge_db():
+    db = Database()
+    db.create_table(
+        table(
+            "left_t",
+            [("id", T.INT), ("k", T.INT), ("name", T.TEXT)],
+            primary_key=["id"],
+        )
+    )
+    db.create_table(
+        table(
+            "right_t",
+            [("id", T.INT), ("k", T.INT), ("v", T.FLOAT)],
+            primary_key=["id"],
+        )
+    )
+    db.create_table(table("empty_t", [("a", T.INT)], primary_key=["a"]))
+    db.load_rows(
+        "left_t",
+        [(1, 10, "a"), (2, 20, "b"), (3, None, "c"), (4, 40, "d")],
+    )
+    db.load_rows(
+        "right_t",
+        [(1, 10, 1.0), (2, 10, 2.0), (3, None, 3.0), (4, 99, 4.0)],
+    )
+    db.analyze()
+    return db
+
+
+class TestEmptyInputs:
+    def test_scan_empty_table(self, edge_db):
+        assert edge_db.execute("SELECT a FROM empty_t").rows == []
+
+    def test_aggregate_over_empty_table(self, edge_db):
+        row = edge_db.execute(
+            "SELECT count(*), sum(a), min(a) FROM empty_t"
+        ).rows[0]
+        assert row == (0, None, None)
+
+    def test_group_by_over_empty_table(self, edge_db):
+        assert edge_db.execute(
+            "SELECT a, count(*) FROM empty_t GROUP BY a"
+        ).rows == []
+
+    def test_join_with_empty_side(self, edge_db):
+        assert edge_db.execute(
+            "SELECT l.name FROM left_t l JOIN empty_t e ON l.id = e.a"
+        ).rows == []
+
+    def test_order_limit_on_empty(self, edge_db):
+        assert edge_db.execute(
+            "SELECT a FROM empty_t ORDER BY a LIMIT 5"
+        ).rows == []
+
+    def test_update_delete_on_empty(self, edge_db):
+        assert edge_db.execute("UPDATE empty_t SET a = 1").rowcount == 0
+        assert edge_db.execute("DELETE FROM empty_t").rowcount == 0
+
+
+class TestNullJoinKeys:
+    def test_null_keys_never_match(self, edge_db):
+        rows = edge_db.execute(
+            "SELECT l.id, r.id FROM left_t l, right_t r WHERE l.k = r.k"
+        ).rows
+        # Only k=10 matches (left row 1 with right rows 1 and 2);
+        # NULL = NULL must not join.
+        assert sorted(rows) == [(1, 1), (1, 2)]
+
+    def test_null_keys_with_index_nl(self, edge_db):
+        edge_db.create_index(IndexDef(table="right_t", columns=("k",)))
+        edge_db.analyze()
+        rows = edge_db.execute(
+            "SELECT l.id, r.id FROM left_t l, right_t r WHERE l.k = r.k"
+        ).rows
+        assert sorted(rows) == [(1, 1), (1, 2)]
+
+
+class TestDegenerateStatements:
+    def test_where_always_false(self, edge_db):
+        assert edge_db.execute(
+            "SELECT id FROM left_t WHERE 1 = 2"
+        ).rows == []
+
+    def test_where_always_true(self, edge_db):
+        assert edge_db.execute(
+            "SELECT count(*) FROM left_t WHERE 1 = 1"
+        ).scalar == 4
+
+    def test_division_by_zero_is_null(self, edge_db):
+        result = edge_db.execute(
+            "SELECT count(*) FROM left_t WHERE k / 0 > 1"
+        )
+        assert result.scalar == 0  # NULL comparison filters out
+
+    def test_self_join(self, edge_db):
+        rows = edge_db.execute(
+            "SELECT a.id, b.id FROM left_t a, left_t b "
+            "WHERE a.k = b.k AND a.id < b.id"
+        ).rows
+        assert rows == []  # k values are unique among non-nulls
+
+    def test_in_list_with_null_member(self, edge_db):
+        got = edge_db.execute(
+            "SELECT id FROM left_t WHERE k IN (10, NULL)"
+        ).rows
+        assert got == [(1,)]
+
+    def test_duplicate_column_projection(self, edge_db):
+        row = edge_db.execute(
+            "SELECT id, id, k FROM left_t WHERE id = 1"
+        ).rows[0]
+        assert row == (1, 1, 10)
+
+    def test_limit_larger_than_result(self, edge_db):
+        rows = edge_db.execute("SELECT id FROM left_t LIMIT 100").rows
+        assert len(rows) == 4
+
+
+class TestStringEdges:
+    def test_quote_escaping_round_trip(self, edge_db):
+        edge_db.execute(
+            "INSERT INTO left_t (id, k, name) VALUES (50, 1, 'it''s')"
+        )
+        assert edge_db.execute(
+            "SELECT name FROM left_t WHERE id = 50"
+        ).scalar == "it's"
+
+    def test_empty_string_value(self, edge_db):
+        edge_db.execute(
+            "INSERT INTO left_t (id, k, name) VALUES (51, 1, '')"
+        )
+        assert edge_db.execute(
+            "SELECT count(*) FROM left_t WHERE name = ''"
+        ).scalar == 1
+
+    def test_like_on_percent_in_data(self, edge_db):
+        edge_db.execute(
+            "INSERT INTO left_t (id, k, name) VALUES (52, 1, 'x%y')"
+        )
+        got = edge_db.execute(
+            "SELECT id FROM left_t WHERE name LIKE 'x%'"
+        ).rows
+        assert (52,) in got
+
+
+class TestReportRendering:
+    def test_render_skipped(self):
+        from repro.core.advisor import TuningReport
+
+        assert "skipped" in TuningReport(skipped=True).render()
+
+    def test_render_changes(self):
+        from repro.core.advisor import TuningReport
+
+        report = TuningReport(
+            created=[IndexDef(table="t", columns=("a",))],
+            dropped=[IndexDef(table="t", columns=("b",))],
+            estimated_benefit=50.0,
+            baseline_cost=100.0,
+            templates_used=3,
+            candidates_considered=2,
+            estimator_calls=9,
+            elapsed_seconds=0.5,
+        )
+        text = report.render()
+        assert "created: t(a)" in text
+        assert "dropped: t(b)" in text
+        assert "50.0%" in text
+        assert "3 templates" in text
+
+    def test_render_no_changes(self):
+        from repro.core.advisor import TuningReport
+
+        assert "no index changes" in TuningReport().render()

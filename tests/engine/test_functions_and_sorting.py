@@ -1,0 +1,173 @@
+"""Scalar functions, NULL ordering, DISTINCT, and misc executor paths."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+
+
+@pytest.fixture
+def fn_db():
+    db = Database()
+    db.create_table(
+        table(
+            "t",
+            [("id", T.INT), ("x", T.INT), ("s", T.TEXT)],
+            primary_key=["id"],
+        )
+    )
+    db.load_rows(
+        "t",
+        [
+            (1, -5, "alpha"),
+            (2, 3, "bee"),
+            (3, None, "c"),
+            (4, 10, None),
+        ],
+    )
+    db.analyze()
+    return db
+
+
+class TestScalarFunctions:
+    def test_abs(self, fn_db):
+        assert fn_db.execute(
+            "SELECT abs(x) FROM t WHERE id = 1"
+        ).scalar == 5
+
+    def test_abs_of_null(self, fn_db):
+        assert fn_db.execute(
+            "SELECT abs(x) FROM t WHERE id = 3"
+        ).scalar is None
+
+    def test_length(self, fn_db):
+        assert fn_db.execute(
+            "SELECT length(s) FROM t WHERE id = 1"
+        ).scalar == 5
+
+    def test_coalesce(self, fn_db):
+        assert fn_db.execute(
+            "SELECT coalesce(x, 0) FROM t WHERE id = 3"
+        ).scalar == 0
+        assert fn_db.execute(
+            "SELECT coalesce(x, 0) FROM t WHERE id = 2"
+        ).scalar == 3
+
+    def test_unknown_function_raises(self, fn_db):
+        from repro.engine.executor import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            fn_db.execute("SELECT nosuchfn(x) FROM t")
+
+    def test_function_in_where(self, fn_db):
+        got = fn_db.execute(
+            "SELECT id FROM t WHERE abs(x) > 4"
+        ).rows
+        assert sorted(got) == [(1,), (4,)]
+
+
+class TestNullOrdering:
+    def test_nulls_sort_first_ascending(self, fn_db):
+        ids = [r[0] for r in fn_db.execute(
+            "SELECT id FROM t ORDER BY x"
+        ).rows]
+        assert ids[0] == 3  # NULL x first
+
+    def test_nulls_sort_last_descending(self, fn_db):
+        ids = [r[0] for r in fn_db.execute(
+            "SELECT id FROM t ORDER BY x DESC"
+        ).rows]
+        assert ids[-1] == 3
+
+    def test_mixed_type_order_keys(self, fn_db):
+        # Text column with a NULL present must still sort totally.
+        ids = [r[0] for r in fn_db.execute(
+            "SELECT id FROM t ORDER BY s"
+        ).rows]
+        assert ids[0] == 4  # NULL s first
+        assert ids[1:] == [1, 2, 3]  # alpha, bee, c
+
+
+class TestDistinct:
+    def test_distinct_keeps_null_group(self, fn_db):
+        fn_db.execute("INSERT INTO t (id, x, s) VALUES (5, NULL, 'z')")
+        rows = fn_db.execute("SELECT DISTINCT x FROM t").rows
+        values = {r[0] for r in rows}
+        assert None in values
+        # Two NULL x rows collapse into one distinct entry.
+        assert len([v for v in rows if v[0] is None]) == 1
+
+    def test_distinct_multi_column(self, fn_db):
+        fn_db.execute("INSERT INTO t (id, x, s) VALUES (6, 3, 'bee')")
+        rows = fn_db.execute("SELECT DISTINCT x, s FROM t").rows
+        assert len(rows) == len(set(rows))
+        assert (3, "bee") in rows
+
+
+class TestGroupByNulls:
+    def test_null_forms_its_own_group(self, fn_db):
+        fn_db.execute("INSERT INTO t (id, x, s) VALUES (7, NULL, 'q')")
+        rows = dict(
+            fn_db.execute("SELECT x, count(*) FROM t GROUP BY x").rows
+        )
+        assert rows[None] == 2
+
+    def test_group_by_expression(self, fn_db):
+        rows = fn_db.execute(
+            "SELECT x * 2, count(*) FROM t WHERE x IS NOT NULL "
+            "GROUP BY x * 2"
+        ).rows
+        assert (6, 1) in rows
+
+
+class TestStatementInputForms:
+    def test_execute_accepts_parsed_statement(self, fn_db):
+        from repro.sql import parse
+
+        stmt = parse("SELECT count(*) FROM t")
+        assert fn_db.execute(stmt).scalar == 4
+
+    def test_estimate_cost_accepts_both_forms(self, fn_db):
+        from repro.sql import parse
+
+        by_text, _ = fn_db.estimate_cost("SELECT id FROM t WHERE id = 1")
+        by_ast, _ = fn_db.estimate_cost(
+            parse("SELECT id FROM t WHERE id = 1")
+        )
+        assert by_text == by_ast
+
+
+class TestIsNullIndexScan:
+    """IS NULL is an index-sargable probe (NULLs are stored keys)."""
+
+    def test_index_scan_finds_null_rows(self, fn_db):
+        from repro.engine.index import IndexDef
+
+        want = sorted(
+            fn_db.execute("SELECT id FROM t WHERE x IS NULL").rows
+        )
+        fn_db.create_index(IndexDef(table="t", columns=("x",)))
+        fn_db.analyze()
+        got = sorted(fn_db.execute("SELECT id FROM t WHERE x IS NULL").rows)
+        assert got == want
+        assert got == [(3,)]
+
+    def test_is_not_null_never_uses_null_probe(self, fn_db):
+        from repro.engine.index import IndexDef
+
+        fn_db.create_index(IndexDef(table="t", columns=("x",)))
+        fn_db.analyze()
+        got = sorted(
+            fn_db.execute("SELECT id FROM t WHERE x IS NOT NULL").rows
+        )
+        assert got == [(1,), (2,), (4,)]
+
+    def test_is_null_selectivity_uses_null_fraction(self, fn_db):
+        stats = fn_db.catalog.stats("t")
+        assert stats.column("x").selectivity("isnull", ()) == (
+            pytest.approx(0.25)
+        )
+        assert stats.column("x").selectivity("isnotnull", ()) == (
+            pytest.approx(0.75)
+        )

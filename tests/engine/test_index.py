@@ -1,0 +1,132 @@
+"""IndexDef / Index / hypothetical shape tests."""
+
+import pytest
+
+from repro.engine.index import (
+    Index,
+    IndexDef,
+    IndexScope,
+    hypothetical_shape,
+    shape_of_index,
+)
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+from repro.engine.stats import TableStats
+from repro.engine.storage import HeapFile
+
+
+SCHEMA = table(
+    "t", [("a", T.INT), ("b", T.INT), ("c", T.TEXT)], primary_key=["a"]
+)
+
+
+class TestIndexDef:
+    def test_key_identity(self):
+        a = IndexDef(table="t", columns=("a", "b"), name="x")
+        b = IndexDef(table="t", columns=("a", "b"), name="y")
+        assert a.key == b.key
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            IndexDef(table="t", columns=())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            IndexDef(table="t", columns=("a", "a"))
+
+    def test_display_name_generated(self):
+        d = IndexDef(table="t", columns=("a", "b"))
+        assert d.display_name == "idx_t_a_b"
+
+    def test_display_name_explicit(self):
+        d = IndexDef(table="t", columns=("a",), name="my_idx")
+        assert d.display_name == "my_idx"
+
+    def test_prefix_relation(self):
+        narrow = IndexDef(table="t", columns=("a",))
+        wide = IndexDef(table="t", columns=("a", "b"))
+        assert narrow.is_prefix_of(wide)
+        assert not wide.is_prefix_of(narrow)
+        assert narrow.is_prefix_of(narrow)
+
+    def test_prefix_requires_same_table(self):
+        a = IndexDef(table="t", columns=("a",))
+        b = IndexDef(table="u", columns=("a", "b"))
+        assert not a.is_prefix_of(b)
+
+    def test_prefix_respects_order(self):
+        ab = IndexDef(table="t", columns=("a", "b"))
+        ba = IndexDef(table="t", columns=("b", "a"))
+        assert not ab.is_prefix_of(ba)
+
+    def test_default_scope_global(self):
+        assert IndexDef(table="t", columns=("a",)).scope is IndexScope.GLOBAL
+
+
+def build_index(rows, columns=("b",)):
+    heap = HeapFile(SCHEMA)
+    for row in rows:
+        heap.insert(row)
+    index = Index(IndexDef(table="t", columns=columns), SCHEMA)
+    index.build(list(heap.scan()))
+    return index
+
+
+class TestMaterializedIndex:
+    def test_build_and_count(self):
+        index = build_index([(i, i % 4, "x") for i in range(100)])
+        assert index.entry_count == 100
+
+    def test_key_for_row_orders_columns(self):
+        index = build_index([], columns=("c", "a"))
+        assert index.key_for_row((1, 2, "z")) == ("z", 1)
+
+    def test_insert_delete_row(self):
+        index = build_index([(i, i, "x") for i in range(10)])
+        index.insert_row((0, 99), (99, 99, "x"))
+        assert index.entry_count == 11
+        assert index.delete_row((0, 99), (99, 99, "x"))
+        assert index.entry_count == 10
+
+    def test_covers_columns(self):
+        index = build_index([], columns=("a", "b"))
+        assert index.covers_columns(["a"])
+        assert index.covers_columns(["b", "a"])
+        assert not index.covers_columns(["c"])
+
+    def test_usage_counters(self):
+        index = build_index([(1, 1, "x")])
+        assert index.maintenance_count == 0
+        index.insert_row((0, 1), (2, 2, "x"))
+        assert index.maintenance_count == 1
+
+
+class TestShapes:
+    def test_real_shape_matches_tree(self):
+        index = build_index([(i, i, "x") for i in range(5000)])
+        shape = shape_of_index(index)
+        assert shape.height == index.tree.height
+        assert shape.entry_count == 5000
+        assert shape.byte_size == index.byte_size
+
+    def test_hypothetical_tracks_row_count(self):
+        small = hypothetical_shape(
+            IndexDef(table="t", columns=("b",)), SCHEMA,
+            TableStats(row_count=100),
+        )
+        large = hypothetical_shape(
+            IndexDef(table="t", columns=("b",)), SCHEMA,
+            TableStats(row_count=100000),
+        )
+        assert large.total_pages > small.total_pages
+        assert large.height >= small.height
+
+    def test_wider_keys_cost_more_pages(self):
+        stats = TableStats(row_count=50000)
+        narrow = hypothetical_shape(
+            IndexDef(table="t", columns=("a",)), SCHEMA, stats
+        )
+        wide = hypothetical_shape(
+            IndexDef(table="t", columns=("a", "b", "c")), SCHEMA, stats
+        )
+        assert wide.total_pages > narrow.total_pages

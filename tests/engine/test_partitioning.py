@@ -1,0 +1,305 @@
+"""Global vs local index scope on partitioned tables (Section III)."""
+
+import random
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef, IndexScope, hypothetical_shape
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import TableSchema, table
+from repro.engine.stats import TableStats
+
+
+def partitioned_db(rows=6000, partitions=8):
+    db = Database()
+    db.create_table(
+        table(
+            "events",
+            [
+                ("event_id", T.INT),
+                ("tenant_id", T.INT),
+                ("kind", T.INT),
+                ("value", T.FLOAT),
+            ],
+            primary_key=["event_id"],
+            partition_count=partitions,
+            partition_key="tenant_id",
+        )
+    )
+    rng = random.Random(3)
+    db.load_rows(
+        "events",
+        [
+            (i, rng.randrange(40), rng.randrange(200),
+             round(rng.random() * 100, 2))
+            for i in range(rows)
+        ],
+    )
+    db.analyze()
+    return db
+
+
+class TestSchemaValidation:
+    def test_partitioned_table_needs_key(self):
+        with pytest.raises(ValueError):
+            TableSchema(
+                name="t",
+                columns=(),
+                partition_count=4,
+            )
+
+    def test_partition_key_must_exist(self):
+        with pytest.raises(ValueError):
+            table(
+                "t", [("a", T.INT)], partition_count=2,
+                partition_key="nope",
+            )
+
+    def test_partition_of_is_stable(self):
+        schema = table(
+            "t", [("a", T.INT)], partition_count=4, partition_key="a"
+        )
+        assert schema.partition_of(17) == schema.partition_of(17)
+        assert 0 <= schema.partition_of(17) < 4
+
+    def test_unpartitioned_always_partition_zero(self):
+        schema = table("t", [("a", T.INT)])
+        assert schema.partition_of(99) == 0
+        assert not schema.is_partitioned
+
+
+class TestLocalIndexStructure:
+    def test_local_index_builds_per_partition_trees(self):
+        db = partitioned_db()
+        local = IndexDef(
+            table="events", columns=("kind",), scope=IndexScope.LOCAL
+        )
+        index = db.create_index(local)
+        assert index.partition_count == 8
+        assert len(index.trees) == 8
+        assert index.entry_count == 6000
+
+    def test_global_index_is_single_tree(self):
+        db = partitioned_db()
+        index = db.create_index(
+            IndexDef(table="events", columns=("kind",))
+        )
+        assert index.partition_count == 1
+        assert index.tree.entry_count == 6000
+
+    def test_single_tree_accessor_guarded_for_local(self):
+        db = partitioned_db()
+        index = db.create_index(
+            IndexDef(table="events", columns=("kind",),
+                     scope=IndexScope.LOCAL)
+        )
+        with pytest.raises(AttributeError):
+            _ = index.tree
+
+    def test_global_takes_more_space_than_local(self):
+        """The scope trade-off: global = wider entries, more pages."""
+        db = partitioned_db(rows=20000)
+        local = db.create_index(
+            IndexDef(table="events", columns=("kind",),
+                     scope=IndexScope.LOCAL)
+        )
+        global_ = db.create_index(
+            IndexDef(table="events", columns=("kind",))
+        )
+        assert global_.byte_size > local.byte_size
+
+    def test_scope_distinguishes_identity(self):
+        local = IndexDef(
+            table="t", columns=("a",), scope=IndexScope.LOCAL
+        )
+        global_ = IndexDef(table="t", columns=("a",))
+        assert local.key != global_.key
+        assert not local.is_prefix_of(global_)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scope", [IndexScope.GLOBAL, IndexScope.LOCAL])
+    def test_results_match_seq_scan(self, scope):
+        db = partitioned_db()
+        sql = "SELECT event_id FROM events WHERE kind = 7"
+        want = sorted(db.execute(sql).rows)
+        db.create_index(
+            IndexDef(table="events", columns=("kind",), scope=scope)
+        )
+        db.analyze()
+        assert sorted(db.execute(sql).rows) == want
+
+    def test_local_index_with_partition_key_prune(self):
+        db = partitioned_db()
+        db.create_index(
+            IndexDef(
+                table="events", columns=("tenant_id", "kind"),
+                scope=IndexScope.LOCAL,
+            )
+        )
+        db.analyze()
+        got = db.execute(
+            "SELECT event_id FROM events WHERE tenant_id = 5 AND kind = 3"
+        ).rows
+        db.drop_index(
+            IndexDef(
+                table="events", columns=("tenant_id", "kind"),
+                scope=IndexScope.LOCAL,
+            )
+        )
+        want = db.execute(
+            "SELECT event_id FROM events WHERE tenant_id = 5 AND kind = 3"
+        ).rows
+        assert sorted(got) == sorted(want)
+
+    def test_writes_maintain_local_index(self):
+        db = partitioned_db()
+        db.create_index(
+            IndexDef(table="events", columns=("kind",),
+                     scope=IndexScope.LOCAL)
+        )
+        db.execute(
+            "INSERT INTO events (event_id, tenant_id, kind, value) "
+            "VALUES (999999, 3, 12345, 1.0)"
+        )
+        assert db.execute(
+            "SELECT event_id FROM events WHERE kind = 12345"
+        ).rows == [(999999,)]
+        db.execute("DELETE FROM events WHERE event_id = 999999")
+        assert db.execute(
+            "SELECT count(*) FROM events WHERE kind = 12345"
+        ).scalar == 0
+
+
+class TestCosting:
+    def test_pruned_lookup_cheaper_than_unpruned(self):
+        db = partitioned_db(rows=20000)
+        db.create_index(
+            IndexDef(
+                table="events", columns=("tenant_id", "kind"),
+                scope=IndexScope.LOCAL,
+            )
+        )
+        db.analyze()
+        pruned = db.execute(
+            "SELECT count(*) FROM events WHERE tenant_id = 5 AND kind = 3"
+        ).cost
+        db.create_index(
+            IndexDef(table="events", columns=("kind",),
+                     scope=IndexScope.LOCAL)
+        )
+        db.analyze()
+        unpruned = db.execute(
+            "SELECT count(*) FROM events WHERE kind = 3"
+        ).cost
+        # The unpruned lookup pays one descent per partition.
+        assert unpruned > pruned
+
+    def test_hypothetical_shapes_reflect_scope(self):
+        schema = table(
+            "t",
+            [("a", T.INT), ("b", T.INT)],
+            partition_count=8,
+            partition_key="a",
+        )
+        stats = TableStats(row_count=50000)
+        local = hypothetical_shape(
+            IndexDef(table="t", columns=("b",), scope=IndexScope.LOCAL),
+            schema,
+            stats,
+        )
+        global_ = hypothetical_shape(
+            IndexDef(table="t", columns=("b",)), schema, stats
+        )
+        assert local.partitions == 8
+        assert global_.partitions == 1
+        assert global_.byte_size > local.byte_size
+        assert local.height <= global_.height
+
+    def test_candidates_offer_both_scopes(self):
+        from repro.core.candidates import CandidateGenerator
+        from repro.sql import parse
+
+        db = partitioned_db()
+        generator = CandidateGenerator(db.catalog)
+        defs = generator.for_statement(
+            parse("SELECT event_id FROM events WHERE kind = 3")
+        )
+        scopes = {d.scope for d in defs if d.columns == ("kind",)}
+        assert scopes == {IndexScope.GLOBAL, IndexScope.LOCAL}
+
+    def test_advisor_picks_some_scope_under_budget(self):
+        from repro.core.advisor import AutoIndexAdvisor
+
+        db = partitioned_db(rows=20000)
+        advisor = AutoIndexAdvisor(db, mcts_iterations=50)
+        rng = random.Random(9)
+        for _ in range(60):
+            kind = rng.randrange(200)
+            tenant = rng.randrange(40)
+            sql = (
+                "SELECT count(*) FROM events "
+                f"WHERE tenant_id = {tenant} AND kind = {kind}"
+            )
+            db.execute(sql)
+            advisor.observe(sql)
+        report = advisor.tune()
+        assert report.created, "an index on (tenant, kind) should win"
+
+
+class TestPartitionKeyUpdates:
+    """Updating a row's partition key must re-route LOCAL index entries."""
+
+    def test_local_index_follows_partition_move(self):
+        db = partitioned_db(rows=2000)
+        db.create_index(
+            IndexDef(table="events", columns=("kind",),
+                     scope=IndexScope.LOCAL)
+        )
+        db.analyze()
+        # Move event 5 to a different tenant (its hash partition moves).
+        old_tenant = db.execute(
+            "SELECT tenant_id FROM events WHERE event_id = 5"
+        ).scalar
+        new_tenant = (old_tenant + 17) % 40
+        db.execute(
+            f"UPDATE events SET tenant_id = {new_tenant} "
+            "WHERE event_id = 5"
+        )
+        kind = db.execute(
+            "SELECT kind FROM events WHERE event_id = 5"
+        ).scalar
+        # A kind lookup (served by the LOCAL index) must still find it.
+        got = db.execute(
+            f"SELECT event_id FROM events WHERE kind = {kind}"
+        ).rows
+        assert (5,) in got
+        index = db.catalog.get_index(
+            IndexDef(table="events", columns=("kind",),
+                     scope=IndexScope.LOCAL)
+        )
+        assert index.entry_count == 2000  # no duplicate/lost entries
+
+    def test_update_maintenance_cost_counts_partition_move(self):
+        db = partitioned_db(rows=2000)
+        db.create_index(
+            IndexDef(table="events", columns=("kind",),
+                     scope=IndexScope.LOCAL)
+        )
+        db.analyze()
+        io, cpu = db.planner.maintenance_components_per_row(
+            "events", {"tenant_id"}
+        )
+        # The LOCAL (kind,) index is rerouted even though tenant_id is
+        # not an indexed column (pk is GLOBAL and unaffected).
+        assert cpu > 0
+
+    def test_global_index_unaffected_by_partition_move(self):
+        db = partitioned_db(rows=2000)
+        db.create_index(IndexDef(table="events", columns=("kind",)))
+        db.analyze()
+        io, cpu = db.planner.maintenance_components_per_row(
+            "events", {"tenant_id"}
+        )
+        assert cpu == 0.0 and io == 0.0

@@ -1,0 +1,102 @@
+"""Plan node utilities: explain rendering, traversal, index listing."""
+
+import pytest
+
+from repro.engine.index import IndexDef
+from repro.engine.plan import (
+    FilterPlan,
+    HashJoinPlan,
+    IndexScanPlan,
+    LimitPlan,
+    SeqScanPlan,
+    SortPlan,
+    indexes_used,
+    walk_plan,
+)
+from repro.sql import ast
+
+
+def index_scan(columns=("a",)):
+    return IndexScanPlan(
+        table="t",
+        binding="t",
+        index=IndexDef(table="t", columns=columns),
+        eq_exprs=(ast.Literal(value=1),),
+    )
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        scan = SeqScanPlan(table="t", binding="t")
+        flt = FilterPlan(
+            child=scan,
+            predicate=ast.Comparison(
+                op="=",
+                left=ast.ColumnRef(column="a", table="t"),
+                right=ast.Literal(value=1),
+            ),
+        )
+        limit = LimitPlan(child=flt, limit=5)
+        nodes = list(walk_plan(limit))
+        assert nodes == [limit, flt, scan]
+
+    def test_join_children(self):
+        join = HashJoinPlan(
+            left=SeqScanPlan(table="a", binding="a"),
+            right=index_scan(),
+            left_keys=(ast.ColumnRef(column="x", table="a"),),
+            right_keys=(ast.ColumnRef(column="a", table="t"),),
+        )
+        kinds = [type(n).__name__ for n in walk_plan(join)]
+        assert kinds == ["HashJoinPlan", "SeqScanPlan", "IndexScanPlan"]
+
+
+class TestIndexesUsed:
+    def test_collects_all_scans(self):
+        join = HashJoinPlan(
+            left=index_scan(("a",)),
+            right=index_scan(("b", "c")),
+            left_keys=(),
+            right_keys=(),
+        )
+        used = indexes_used(join)
+        assert {d.columns for d in used} == {("a",), ("b", "c")}
+
+    def test_empty_for_seq_plans(self):
+        assert indexes_used(SeqScanPlan(table="t", binding="t")) == []
+
+
+class TestExplain:
+    def test_describes_each_node_kind(self):
+        scan = index_scan(("a", "b"))
+        scan.range_column = "b"
+        scan.range_low = ast.Literal(value=0)
+        scan.range_high = ast.Literal(value=9)
+        text = scan.explain()
+        assert "IndexScan" in text
+        assert "range" in text
+        assert "rows=" in text and "cost=" in text
+
+    def test_indentation_reflects_depth(self):
+        scan = SeqScanPlan(table="t", binding="t")
+        sort = SortPlan(child=scan, keys=())
+        lines = sort.explain().splitlines()
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")
+
+    def test_seq_scan_shows_filter(self):
+        scan = SeqScanPlan(
+            table="t",
+            binding="t",
+            predicate=ast.Comparison(
+                op=">",
+                left=ast.ColumnRef(column="a", table="t"),
+                right=ast.Literal(value=3),
+            ),
+        )
+        assert "filter=t.a > 3" in scan.describe()
+
+    def test_index_only_marker(self):
+        scan = index_scan()
+        scan.index_only = True
+        assert "index-only" in scan.describe()

@@ -1,0 +1,270 @@
+"""Planner tests: access-path choice, join strategy, cost estimates."""
+
+import pytest
+
+from repro.engine.index import IndexDef
+from repro.engine.plan import (
+    HashJoinPlan,
+    IndexScanPlan,
+    LimitPlan,
+    NestedLoopPlan,
+    SeqScanPlan,
+    SortPlan,
+    indexes_used,
+    walk_plan,
+)
+from repro.engine.planner import PlanningError
+
+
+def plan_of(db, sql):
+    statement = db.parse_statement(sql)
+    return db.planner.plan(statement)
+
+
+def scan_nodes(plan, kind):
+    return [n for n in walk_plan(plan) if isinstance(n, kind)]
+
+
+class TestAccessPaths:
+    def test_no_index_means_seq_scan(self, people_db):
+        plan = plan_of(people_db, "SELECT id FROM people WHERE community = 1")
+        assert scan_nodes(plan, SeqScanPlan)
+
+    def test_pk_point_lookup_uses_index(self, people_db):
+        plan = plan_of(people_db, "SELECT name FROM people WHERE id = 7")
+        nodes = scan_nodes(plan, IndexScanPlan)
+        assert nodes and nodes[0].index.columns == ("id",)
+
+    def test_selective_secondary_index_wins(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "status"))
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db,
+            "SELECT id FROM people WHERE community = 1 AND status = 'suspect'",
+        )
+        nodes = scan_nodes(plan, IndexScanPlan)
+        assert nodes and nodes[0].index.columns == ("community", "status")
+
+    def test_unselective_predicate_prefers_seq(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("temperature",))
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db, "SELECT name FROM people WHERE temperature > 36.0"
+        )
+        assert scan_nodes(plan, SeqScanPlan)
+
+    def test_index_only_scan_for_covered_count(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("temperature",))
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db,
+            "SELECT count(*) FROM people WHERE temperature >= 39.0",
+        )
+        nodes = scan_nodes(plan, IndexScanPlan)
+        assert nodes and nodes[0].index_only
+
+    def test_fetching_other_columns_disables_index_only(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("temperature",))
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db,
+            "SELECT name FROM people WHERE temperature >= 40.9",
+        )
+        nodes = scan_nodes(plan, IndexScanPlan)
+        if nodes:  # selective enough to use the index
+            assert not nodes[0].index_only
+
+    def test_leftmost_prefix_match(self, people_db):
+        people_db.create_index(
+            IndexDef(
+                table="people", columns=("community", "status", "temperature")
+            )
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db,
+            "SELECT id FROM people WHERE community = 2 AND status = 'healthy'",
+        )
+        nodes = scan_nodes(plan, IndexScanPlan)
+        assert nodes and len(nodes[0].eq_exprs) == 2
+
+    def test_range_after_eq_prefix(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "temperature"))
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db,
+            "SELECT id FROM people "
+            "WHERE community = 2 AND temperature > 40.5",
+        )
+        nodes = scan_nodes(plan, IndexScanPlan)
+        assert nodes
+        assert nodes[0].range_column == "temperature"
+
+    def test_non_prefix_column_cannot_use_index(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "temperature"))
+        )
+        people_db.analyze()
+        # temperature alone cannot use a (community, temperature) index.
+        plan = plan_of(
+            people_db, "SELECT id FROM people WHERE temperature > 40.9"
+        )
+        assert scan_nodes(plan, SeqScanPlan)
+
+
+class TestJoinPlanning:
+    def test_hash_join_for_unindexed_fk(self, join_db):
+        plan = plan_of(
+            join_db,
+            "SELECT c.name FROM customers c "
+            "JOIN orders o ON c.cid = o.cid WHERE o.amount > 990",
+        )
+        assert scan_nodes(plan, HashJoinPlan)
+
+    def test_index_nl_when_outer_tiny(self, indexed_join_db):
+        plan = plan_of(
+            indexed_join_db,
+            "SELECT o.amount FROM customers c "
+            "JOIN orders o ON c.cid = o.cid WHERE c.cid = 5",
+        )
+        nl = scan_nodes(plan, NestedLoopPlan)
+        assert nl
+        assert isinstance(nl[0].inner, IndexScanPlan)
+
+    def test_estimates_populated(self, join_db):
+        plan = plan_of(
+            join_db,
+            "SELECT c.name FROM customers c JOIN orders o ON c.cid = o.cid",
+        )
+        for node in walk_plan(plan):
+            assert node.est_cost >= 0
+
+    def test_cartesian_product_allowed(self, join_db):
+        plan = plan_of(
+            join_db,
+            "SELECT c.name FROM customers c, orders o "
+            "WHERE c.region = 1 AND o.amount > 999",
+        )
+        assert scan_nodes(plan, NestedLoopPlan)
+
+
+class TestSortAvoidance:
+    def test_sort_present_without_index(self, people_db):
+        plan = plan_of(
+            people_db, "SELECT id FROM people WHERE community = 1 ORDER BY temperature"
+        )
+        assert scan_nodes(plan, SortPlan)
+
+    def test_index_order_skips_sort(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "temperature"))
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db,
+            "SELECT temperature FROM people WHERE community = 1 "
+            "ORDER BY temperature",
+        )
+        if scan_nodes(plan, IndexScanPlan):
+            assert not scan_nodes(plan, SortPlan)
+
+    def test_desc_order_still_sorts(self, people_db):
+        people_db.create_index(
+            IndexDef(table="people", columns=("community", "temperature"))
+        )
+        people_db.analyze()
+        plan = plan_of(
+            people_db,
+            "SELECT temperature FROM people WHERE community = 1 "
+            "ORDER BY temperature DESC",
+        )
+        assert scan_nodes(plan, SortPlan)
+
+
+class TestWhatIfCosting:
+    def test_hypothetical_index_lowers_estimate(self, people_db):
+        sql = (
+            "SELECT id FROM people WHERE community = 1 "
+            "AND status = 'confirmed'"
+        )
+        without, _ = people_db.estimate_cost(sql, [])
+        hypo = IndexDef(table="people", columns=("community", "status"))
+        with_index, plan = people_db.estimate_cost(sql, [hypo])
+        assert with_index < without
+        assert hypo in indexes_used(plan)
+
+    def test_estimate_on_template_with_placeholders(self, people_db):
+        from repro.sql import parse
+
+        stmt = parse("SELECT id FROM people WHERE community = $1")
+        cost, _plan = people_db.estimate_cost(stmt, [])
+        assert cost > 0
+
+    def test_write_estimate_counts_hypothetical_maintenance(self, people_db):
+        sql = (
+            "INSERT INTO people (id, name, community, temperature, status) "
+            "VALUES (70000, 'x', 1, 37.0, 'y')"
+        )
+        bare, _ = people_db.estimate_cost(sql, [])
+        config = [
+            IndexDef(table="people", columns=("community",)),
+            IndexDef(table="people", columns=("temperature", "status")),
+        ]
+        loaded, _ = people_db.estimate_cost(sql, config)
+        assert loaded > bare
+
+    def test_update_maintenance_only_for_touched_columns(self, people_db):
+        config = [IndexDef(table="people", columns=("community",))]
+        unrelated, _ = people_db.estimate_cost(
+            "UPDATE people SET temperature = 40.0 WHERE id = 1", config
+        )
+        related, _ = people_db.estimate_cost(
+            "UPDATE people SET community = 9 WHERE id = 1", config
+        )
+        assert related > unrelated
+
+    def test_delete_charges_no_index_maintenance(self, people_db):
+        config = [IndexDef(table="people", columns=("community",))]
+        with_cfg, _ = people_db.estimate_cost(
+            "DELETE FROM people WHERE id = 1", config
+        )
+        without, _ = people_db.estimate_cost(
+            "DELETE FROM people WHERE id = 1", []
+        )
+        assert with_cfg == pytest.approx(without)
+
+    def test_whatif_overlay_cleared_after_estimate(self, people_db):
+        hypo = IndexDef(table="people", columns=("community",))
+        people_db.estimate_cost("SELECT id FROM people WHERE id = 1", [hypo])
+        assert not people_db.catalog.whatif_active
+
+
+class TestLimits:
+    def test_limit_caps_estimate(self, people_db):
+        plan = plan_of(people_db, "SELECT id FROM people LIMIT 3")
+        limit = scan_nodes(plan, LimitPlan)[0]
+        assert limit.est_rows <= 3
+
+
+class TestErrors:
+    def test_unknown_binding(self, people_db):
+        with pytest.raises(PlanningError):
+            plan_of(people_db, "SELECT zzz.id FROM people")
+
+    def test_update_unknown_column(self, people_db):
+        with pytest.raises(PlanningError):
+            plan_of(people_db, "UPDATE people SET nope = 1")
+
+    def test_insert_unknown_column(self, people_db):
+        with pytest.raises(PlanningError):
+            plan_of(people_db, "INSERT INTO people (nope) VALUES (1)")

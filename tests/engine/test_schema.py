@@ -1,0 +1,58 @@
+"""Schema definition tests."""
+
+import pytest
+
+from repro.engine.schema import Column, ColumnType, TableSchema, table
+
+
+class TestTableSchema:
+    def test_shorthand_constructor(self):
+        t = table(
+            "t", [("a", ColumnType.INT), ("b", ColumnType.TEXT)],
+            primary_key=["a"],
+        )
+        assert t.column_names == ("a", "b")
+        assert t.primary_key == ("a",)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            table("t", [("a", ColumnType.INT), ("a", ColumnType.INT)])
+
+    def test_bad_primary_key_rejected(self):
+        with pytest.raises(ValueError):
+            table("t", [("a", ColumnType.INT)], primary_key=["nope"])
+
+    def test_column_lookup(self):
+        t = table("t", [("a", ColumnType.INT)])
+        assert t.column("a").type is ColumnType.INT
+        with pytest.raises(KeyError):
+            t.column("b")
+
+    def test_column_index(self):
+        t = table("t", [("a", ColumnType.INT), ("b", ColumnType.BOOL)])
+        assert t.column_index("b") == 1
+
+    def test_has_column(self):
+        t = table("t", [("a", ColumnType.INT)])
+        assert t.has_column("a")
+        assert not t.has_column("z")
+
+
+class TestWidths:
+    def test_default_widths(self):
+        assert Column("a", ColumnType.INT).byte_width == 8
+        assert Column("a", ColumnType.BOOL).byte_width == 1
+        assert Column("a", ColumnType.TEXT).byte_width == 24
+
+    def test_width_override(self):
+        assert Column("a", ColumnType.TEXT, width=100).byte_width == 100
+
+    def test_row_width_includes_header(self):
+        t = table("t", [("a", ColumnType.INT)])
+        assert t.row_byte_width == 24 + 8
+
+    def test_widths_kwarg(self):
+        t = table(
+            "t", [("a", ColumnType.TEXT)], widths={"a": 64}
+        )
+        assert t.column("a").byte_width == 64

@@ -1,0 +1,192 @@
+"""ANALYZE statistics and selectivity estimation tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.stats import (
+    DEFAULT_RANGE_SELECTIVITY,
+    ColumnStats,
+    analyze_column,
+    analyze_table,
+)
+
+
+class TestAnalyzeColumn:
+    def test_empty(self):
+        stats = analyze_column([])
+        assert stats.n_distinct == 1
+        assert stats.null_fraction == 0.0
+
+    def test_all_null(self):
+        stats = analyze_column([None, None])
+        assert stats.null_fraction == 1.0
+        assert stats.n_distinct == 0
+
+    def test_null_fraction(self):
+        stats = analyze_column([1, None, 2, None])
+        assert stats.null_fraction == 0.5
+
+    def test_distinct_count(self):
+        stats = analyze_column([1, 1, 2, 3, 3, 3])
+        assert stats.n_distinct == 3
+
+    def test_min_max(self):
+        stats = analyze_column([5, 1, 9, 3])
+        assert stats.min_value == 1
+        assert stats.max_value == 9
+
+    def test_mcv_only_for_skew(self):
+        uniform = analyze_column(list(range(100)) * 2)
+        assert uniform.mcv == ()
+        skewed = analyze_column([7] * 500 + list(range(100)))
+        assert any(value == 7 for value, _ in skewed.mcv)
+
+    def test_histogram_sorted(self):
+        stats = analyze_column(random.Random(1).sample(range(10000), 500))
+        assert list(stats.histogram) == sorted(stats.histogram)
+
+    def test_text_column(self):
+        stats = analyze_column(["b", "a", "c", "a"])
+        assert stats.min_value == "a"
+        assert stats.n_distinct == 3
+
+
+class TestEqSelectivity:
+    def test_uniform_eq(self):
+        stats = analyze_column(list(range(100)))
+        assert stats.eq_selectivity(50) == pytest.approx(0.01, rel=0.2)
+
+    def test_mcv_eq_is_frequency(self):
+        values = [7] * 500 + list(range(100))
+        stats = analyze_column(values)
+        assert stats.eq_selectivity(7) == pytest.approx(500 / 600, rel=0.05)
+
+    def test_unknown_value_uses_distinct(self):
+        stats = analyze_column(list(range(200)))
+        assert stats.eq_selectivity(None) == pytest.approx(0.005, rel=0.2)
+
+    def test_selectivities_sum_to_about_one(self):
+        values = list(range(50)) * 4
+        stats = analyze_column(values)
+        total = sum(stats.eq_selectivity(v) for v in range(50))
+        assert total == pytest.approx(1.0, rel=0.25)
+
+
+class TestRangeSelectivity:
+    def test_half_range(self):
+        stats = analyze_column(list(range(1000)))
+        sel = stats.range_selectivity(None, 500, high_inclusive=False)
+        assert sel == pytest.approx(0.5, abs=0.08)
+
+    def test_full_range(self):
+        stats = analyze_column(list(range(1000)))
+        sel = stats.range_selectivity(0, 999)
+        assert sel > 0.9
+
+    def test_narrow_range(self):
+        stats = analyze_column(list(range(1000)))
+        sel = stats.range_selectivity(100, 110)
+        assert sel < 0.1
+
+    def test_out_of_bounds_low(self):
+        stats = analyze_column(list(range(1000)))
+        assert stats.range_selectivity(None, -5) < 0.05
+
+    def test_unknown_bounds_default(self):
+        stats = analyze_column(list(range(1000)))
+        assert stats.range_selectivity(None, None) == (
+            DEFAULT_RANGE_SELECTIVITY
+        )
+
+    def test_no_histogram_default(self):
+        assert ColumnStats().range_selectivity(1, 5) == (
+            DEFAULT_RANGE_SELECTIVITY
+        )
+
+
+class TestOperatorDispatch:
+    def setup_method(self):
+        self.stats = analyze_column(list(range(1000)))
+
+    def test_lt(self):
+        assert self.stats.selectivity("<", (250,)) == pytest.approx(
+            0.25, abs=0.08
+        )
+
+    def test_gt(self):
+        assert self.stats.selectivity(">", (750,)) == pytest.approx(
+            0.25, abs=0.08
+        )
+
+    def test_ge_includes_boundary(self):
+        ge = self.stats.selectivity(">=", (750,))
+        gt = self.stats.selectivity(">", (750,))
+        assert ge >= gt
+
+    def test_between(self):
+        assert self.stats.selectivity(
+            "between", (250, 750)
+        ) == pytest.approx(0.5, abs=0.1)
+
+    def test_ne(self):
+        assert self.stats.selectivity("<>", (5,)) > 0.9
+
+    def test_in(self):
+        sel = self.stats.selectivity("in", (1, 2, 3))
+        assert sel == pytest.approx(0.003, rel=0.5)
+
+    def test_isnull(self):
+        stats = analyze_column([1, None, None, 4])
+        assert stats.selectivity("isnull", ()) == pytest.approx(0.5)
+
+    def test_like_prefix(self):
+        words = [f"{c}{i}" for c in "abcd" for i in range(100)]
+        stats = analyze_column(words)
+        sel = stats.selectivity("like", ("a%",))
+        assert sel == pytest.approx(0.25, abs=0.1)
+
+    def test_like_no_prefix_defaults(self):
+        stats = analyze_column(["x", "y"])
+        assert stats.selectivity("like", ("%z%",)) == (
+            DEFAULT_RANGE_SELECTIVITY
+        )
+
+
+class TestAnalyzeTable:
+    def test_row_count_and_columns(self):
+        rows = [(i, f"n{i % 5}") for i in range(100)]
+        stats = analyze_table(rows, ["id", "name"])
+        assert stats.row_count == 100
+        assert stats.column("id").n_distinct == 100
+        assert stats.column("name").n_distinct == 5
+
+    def test_missing_column_defaults(self):
+        stats = analyze_table([], ["a"])
+        assert stats.column("nope").n_distinct == 1
+
+
+@given(
+    st.lists(st.integers(0, 100), min_size=20, max_size=500),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_range_estimate_tracks_truth(values, a, b):
+    """Histogram range estimates stay within a coarse error band."""
+    lo, hi = min(a, b), max(a, b)
+    stats = analyze_column(values)
+    truth = sum(1 for v in values if lo <= v <= hi) / len(values)
+    est = stats.range_selectivity(lo, hi)
+    assert est == pytest.approx(truth, abs=0.35)
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_property_selectivities_bounded(values):
+    stats = analyze_column(values)
+    for v in set(values):
+        sel = stats.eq_selectivity(v)
+        assert 0.0 < sel <= 1.0

@@ -1,0 +1,128 @@
+"""Heap storage tests."""
+
+import pytest
+
+from repro.engine.cost import PAGE_SIZE, CostTracker
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+from repro.engine.storage import HeapFile
+
+
+def heap():
+    return HeapFile(
+        table("t", [("a", T.INT), ("b", T.TEXT)], primary_key=["a"])
+    )
+
+
+class TestInsertFetch:
+    def test_insert_returns_rid(self):
+        h = heap()
+        rid = h.insert((1, "x"))
+        assert h.fetch(rid) == (1, "x")
+
+    def test_row_count_tracks_live_rows(self):
+        h = heap()
+        rids = [h.insert((i, "v")) for i in range(10)]
+        assert h.row_count == 10
+        h.delete(rids[0])
+        assert h.row_count == 9
+
+    def test_wrong_width_rejected(self):
+        h = heap()
+        with pytest.raises(ValueError):
+            h.insert((1, "x", "extra"))
+
+    def test_pages_fill_to_capacity(self):
+        h = heap()
+        for i in range(h.rows_per_page):
+            h.insert((i, "v"))
+        assert h.page_count == 1
+        h.insert((99, "v"))
+        assert h.page_count == 2
+
+    def test_byte_size(self):
+        h = heap()
+        h.insert((1, "x"))
+        assert h.byte_size == PAGE_SIZE
+
+
+class TestUpdateDelete:
+    def test_update_in_place(self):
+        h = heap()
+        rid = h.insert((1, "x"))
+        h.update(rid, (1, "y"))
+        assert h.fetch(rid) == (1, "y")
+
+    def test_delete_then_fetch_raises(self):
+        h = heap()
+        rid = h.insert((1, "x"))
+        h.delete(rid)
+        with pytest.raises(KeyError):
+            h.fetch(rid)
+
+    def test_delete_returns_row(self):
+        h = heap()
+        rid = h.insert((1, "x"))
+        assert h.delete(rid) == (1, "x")
+
+    def test_free_slot_reused(self):
+        h = heap()
+        rid = h.insert((1, "x"))
+        h.delete(rid)
+        new_rid = h.insert((2, "y"))
+        assert new_rid == rid
+        assert h.fetch(new_rid) == (2, "y")
+
+    def test_invalid_rid_raises(self):
+        h = heap()
+        with pytest.raises(KeyError):
+            h.fetch((99, 0))
+
+    def test_page_count_stable_under_churn(self):
+        h = heap()
+        rids = [h.insert((i, "v")) for i in range(50)]
+        pages = h.page_count
+        for rid in rids[:25]:
+            h.delete(rid)
+        for i in range(25):
+            h.insert((100 + i, "v"))
+        assert h.page_count == pages
+
+
+class TestScan:
+    def test_scan_skips_deleted(self):
+        h = heap()
+        rids = [h.insert((i, "v")) for i in range(5)]
+        h.delete(rids[2])
+        values = [row[0] for _rid, row in h.scan()]
+        assert values == [0, 1, 3, 4]
+
+    def test_scan_yields_rids(self):
+        h = heap()
+        expected = [h.insert((i, "v")) for i in range(5)]
+        assert [rid for rid, _row in h.scan()] == expected
+
+
+class TestCostCharging:
+    def test_scan_charges_pages_and_tuples(self):
+        h = heap()
+        for i in range(h.rows_per_page * 2):
+            h.insert((i, "v"))
+        tracker = CostTracker()
+        list(h.scan(tracker))
+        assert tracker.seq_pages == 2
+        assert tracker.heap_tuples == h.rows_per_page * 2
+
+    def test_fetch_charges_random_page(self):
+        h = heap()
+        rid = h.insert((1, "x"))
+        tracker = CostTracker()
+        h.fetch(rid, tracker)
+        assert tracker.random_pages == 1
+
+    def test_insert_charges(self):
+        h = heap()
+        tracker = CostTracker()
+        h.insert((1, "x"), tracker)
+        assert tracker.random_pages == 1
+        assert tracker.heap_tuples == 1

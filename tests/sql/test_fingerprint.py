@@ -1,0 +1,109 @@
+"""SQL2Template fingerprinting tests."""
+
+import pytest
+
+from repro.sql import ast, parse
+from repro.sql.fingerprint import fingerprint, parameterize
+
+
+class TestLiteralLifting:
+    def test_same_shape_different_values_share_fingerprint(self):
+        a = fingerprint(parse("SELECT a FROM t WHERE b = 1"))
+        b = fingerprint(parse("SELECT a FROM t WHERE b = 999"))
+        assert a == b
+
+    def test_string_and_numeric_literals_lifted(self):
+        fp = fingerprint(
+            parse("SELECT a FROM t WHERE b = 'x' AND c > 3.5")
+        )
+        assert "'x'" not in fp
+        assert "3.5" not in fp
+        assert "$" in fp
+
+    def test_different_shapes_differ(self):
+        a = fingerprint(parse("SELECT a FROM t WHERE b = 1"))
+        b = fingerprint(parse("SELECT a FROM t WHERE c = 1"))
+        assert a != b
+
+    def test_extracted_values_in_order(self):
+        pq = parameterize(
+            parse("SELECT a FROM t WHERE b = 7 AND c BETWEEN 1 AND 2")
+        )
+        assert pq.values == (7, 1, 2)
+
+    def test_whitespace_and_case_insensitive(self):
+        a = fingerprint(parse("select  A from T where B=2"))
+        b = fingerprint(parse("SELECT a FROM t WHERE b = 5"))
+        assert a == b
+
+
+class TestInListCollapse:
+    def test_in_lists_of_different_lengths_share_template(self):
+        a = fingerprint(parse("SELECT a FROM t WHERE b IN (1, 2)"))
+        b = fingerprint(parse("SELECT a FROM t WHERE b IN (1, 2, 3, 4)"))
+        assert a == b
+
+
+class TestInsertCollapse:
+    def test_row_count_does_not_matter(self):
+        a = fingerprint(parse("INSERT INTO t (a, b) VALUES (1, 2)"))
+        b = fingerprint(
+            parse("INSERT INTO t (a, b) VALUES (3, 4), (5, 6)")
+        )
+        assert a == b
+
+    def test_different_column_lists_differ(self):
+        a = fingerprint(parse("INSERT INTO t (a) VALUES (1)"))
+        b = fingerprint(parse("INSERT INTO t (b) VALUES (1)"))
+        assert a != b
+
+    def test_first_row_values_recorded(self):
+        pq = parameterize(parse("INSERT INTO t (a, b) VALUES (1, 'x')"))
+        assert pq.values == (1, "x")
+
+
+class TestWrites:
+    def test_update_literals_lifted(self):
+        a = fingerprint(parse("UPDATE t SET a = 1 WHERE b = 2"))
+        b = fingerprint(parse("UPDATE t SET a = 9 WHERE b = 8"))
+        assert a == b
+
+    def test_update_column_arithmetic_preserved(self):
+        fp = fingerprint(parse("UPDATE t SET a = a + 5 WHERE b = 2"))
+        assert "a + $" in fp
+
+    def test_delete(self):
+        a = fingerprint(parse("DELETE FROM t WHERE a = 1"))
+        b = fingerprint(parse("DELETE FROM t WHERE a = 2"))
+        assert a == b
+
+
+class TestNestedStructures:
+    def test_subquery_literals_lifted(self):
+        a = fingerprint(
+            parse("SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)")
+        )
+        b = fingerprint(
+            parse("SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 2)")
+        )
+        assert a == b
+
+    def test_derived_table_literals_lifted(self):
+        a = fingerprint(
+            parse("SELECT a FROM (SELECT b FROM u WHERE c = 1) AS s")
+        )
+        b = fingerprint(
+            parse("SELECT a FROM (SELECT b FROM u WHERE c = 2) AS s")
+        )
+        assert a == b
+
+    def test_limit_is_part_of_template(self):
+        a = fingerprint(parse("SELECT a FROM t LIMIT 1"))
+        b = fingerprint(parse("SELECT a FROM t LIMIT 2"))
+        # LIMIT is structural (changes the plan shape), so differs.
+        assert a != b
+
+    def test_template_statement_is_reparsable(self):
+        pq = parameterize(parse("SELECT a FROM t WHERE b = 1 AND c = 'x'"))
+        reparsed = parse(pq.fingerprint)
+        assert fingerprint(reparsed) == pq.fingerprint

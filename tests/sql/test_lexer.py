@@ -1,0 +1,136 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.sql.lexer import Lexer, SqlSyntaxError, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenType.KEYWORD, "select")
+        ] * 3
+
+    def test_identifiers_lowercased(self):
+        assert kinds("Foo BAR_baz") == [
+            (TokenType.IDENT, "foo"),
+            (TokenType.IDENT, "bar_baz"),
+        ]
+
+    def test_integer_literal(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+
+    def test_float_literal(self):
+        assert kinds("3.14") == [(TokenType.NUMBER, "3.14")]
+
+    def test_leading_dot_float(self):
+        assert kinds(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_number_then_dot_access_not_merged(self):
+        # "t1.c" after a number boundary: "1.c" must not lex as float.
+        tokens = kinds("t1.c")
+        assert tokens == [
+            (TokenType.IDENT, "t1"),
+            (TokenType.PUNCT, "."),
+            (TokenType.IDENT, "c"),
+        ]
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_string_preserves_case(self):
+        assert kinds("'MiXeD'") == [(TokenType.STRING, "MiXeD")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_placeholder(self):
+        assert kinds("$1 $23 $") == [
+            (TokenType.PLACEHOLDER, "$1"),
+            (TokenType.PLACEHOLDER, "$23"),
+            (TokenType.PLACEHOLDER, "$"),
+        ]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op", ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/"]
+    )
+    def test_each_operator(self, op):
+        assert kinds(op) == [(TokenType.OPERATOR, op)]
+
+    def test_two_char_operators_not_split(self):
+        assert kinds("a<=b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, "<="),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(,.)") == [
+            (TokenType.PUNCT, "("),
+            (TokenType.PUNCT, ","),
+            (TokenType.PUNCT, "."),
+            (TokenType.PUNCT, ")"),
+        ]
+
+
+class TestWhitespaceAndComments:
+    def test_whitespace_ignored(self):
+        assert kinds("  a \t\n b ") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment here\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_comment_at_end_of_input(self):
+        assert kinds("a -- trailing") == [(TokenType.IDENT, "a")]
+
+    def test_eof_token_present(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type is TokenType.EOF
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a ; b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("ab @")
+        assert excinfo.value.position == 3
+
+
+class TestRealQueries:
+    def test_full_select_token_count(self):
+        text = (
+            "SELECT a, b FROM t WHERE c = 1 AND d > 'x' "
+            "GROUP BY a ORDER BY b DESC LIMIT 5"
+        )
+        tokens = tokenize(text)
+        assert tokens[-1].type is TokenType.EOF
+        assert all(t.position >= 0 for t in tokens)
+
+    def test_matches_helper(self):
+        token = tokenize("select")[0]
+        assert token.matches(TokenType.KEYWORD, "select")
+        assert token.matches(TokenType.KEYWORD)
+        assert not token.matches(TokenType.IDENT)
+        assert not token.matches(TokenType.KEYWORD, "from")

@@ -1,0 +1,247 @@
+"""Parser unit tests: statement structure and round-tripping."""
+
+import pytest
+
+from repro.sql import ast, parse
+from repro.sql.lexer import SqlSyntaxError
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expr == ast.ColumnRef(column="a")
+        assert stmt.sources == (ast.TableRef(name="t"),)
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_multiple_items_with_aliases(self):
+        stmt = parse("SELECT a AS x, b y, c FROM t")
+        assert [i.alias for i in stmt.items] == ["x", "y", None]
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT a FROM t").distinct
+
+    def test_table_alias_forms(self):
+        explicit = parse("SELECT a FROM t AS u")
+        implicit = parse("SELECT a FROM t u")
+        assert explicit.sources[0].binding == "u"
+        assert implicit.sources[0].binding == "u"
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_group_by_and_having(self):
+        stmt = parse(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert stmt.group_by == (ast.ColumnRef(column="a"),)
+        assert isinstance(stmt.having, ast.Comparison)
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT a FROM t ORDER BY a, b DESC, c ASC")
+        assert [o.descending for o in stmt.order_by] == [False, True, False]
+
+
+class TestJoins:
+    def test_comma_join(self):
+        stmt = parse("SELECT a FROM t1, t2 WHERE t1.x = t2.y")
+        assert len(stmt.sources) == 2
+        assert isinstance(stmt.where, ast.Comparison)
+
+    def test_explicit_join_folds_to_where(self):
+        stmt = parse("SELECT a FROM t1 JOIN t2 ON t1.x = t2.y")
+        assert len(stmt.sources) == 2
+        assert isinstance(stmt.where, ast.Comparison)
+
+    def test_join_on_merges_with_where(self):
+        stmt = parse(
+            "SELECT a FROM t1 JOIN t2 ON t1.x = t2.y WHERE t1.z = 1"
+        )
+        assert isinstance(stmt.where, ast.And)
+        assert len(stmt.where.items) == 2
+
+    def test_inner_join_keyword(self):
+        stmt = parse("SELECT a FROM t1 INNER JOIN t2 ON t1.x = t2.y")
+        assert len(stmt.sources) == 2
+
+    def test_three_way_join(self):
+        stmt = parse(
+            "SELECT a FROM t1 JOIN t2 ON t1.x = t2.x "
+            "JOIN t3 ON t2.y = t3.y"
+        )
+        assert len(stmt.sources) == 3
+        assert len(stmt.where.items) == 2
+
+    def test_derived_table(self):
+        stmt = parse(
+            "SELECT a FROM (SELECT b FROM t WHERE b > 1) AS sub"
+        )
+        src = stmt.sources[0]
+        assert isinstance(src, ast.SubquerySource)
+        assert src.alias == "sub"
+        assert isinstance(src.select, ast.Select)
+
+
+class TestPredicates:
+    def test_comparison_operators_normalised(self):
+        stmt = parse("SELECT a FROM t WHERE a != 1")
+        assert stmt.where.op == "<>"
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_in_subquery(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b > 1)"
+        )
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_like(self):
+        stmt = parse("SELECT a FROM t WHERE name LIKE 'ab%'")
+        assert isinstance(stmt.where, ast.Like)
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse(
+            "SELECT a FROM t WHERE a IS NULL"
+        ).where.negated
+        assert parse("SELECT a FROM t WHERE a IS NOT NULL").where.negated
+
+    def test_and_or_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, ast.Or)
+        assert isinstance(stmt.where.items[1], ast.And)
+
+    def test_parenthesised_or_binds_tighter(self):
+        stmt = parse("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, ast.And)
+
+    def test_not(self):
+        stmt = parse("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_scalar_subquery_in_where(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE a > (SELECT max(b) FROM u)"
+        )
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus_folds_literal(self):
+        stmt = parse("SELECT a FROM t WHERE a = -5")
+        assert stmt.where.right == ast.Literal(value=-5)
+
+    def test_function_call(self):
+        stmt = parse("SELECT sum(amount) FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "sum"
+        assert expr.is_aggregate
+
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM t")
+        assert isinstance(stmt.items[0].expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT count(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+    def test_null_true_false_literals(self):
+        stmt = parse("SELECT a FROM t WHERE a = NULL OR b = TRUE OR c = FALSE")
+        values = [item.right.value for item in stmt.where.items]
+        assert values == [None, True, False]
+
+    def test_qualified_column(self):
+        stmt = parse("SELECT t.a FROM t")
+        assert stmt.items[0].expr == ast.ColumnRef(column="a", table="t")
+
+
+class TestWrites:
+    def test_insert_single_row(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("a", "b")
+        assert stmt.rows[0][0] == ast.Literal(value=1)
+
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_insert_width_mismatch_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert isinstance(stmt.assignments[1].value, ast.Arith)
+
+    def test_update_without_where(self):
+        assert parse("UPDATE t SET a = 1").where is None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_is_write_helper(self):
+        assert ast.is_write(parse("INSERT INTO t (a) VALUES (1)"))
+        assert ast.is_write(parse("UPDATE t SET a = 1"))
+        assert ast.is_write(parse("DELETE FROM t"))
+        assert not ast.is_write(parse("SELECT a FROM t"))
+
+
+class TestErrors:
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t extra ,")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a WHERE b = 1")
+
+    def test_not_a_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("DROP TABLE t")
+
+
+class TestRoundTrip:
+    """str(parse(sql)) must itself parse to an equal AST."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a, b AS x FROM t WHERE a = 1 AND b > 2",
+            "SELECT count(*) FROM t GROUP BY a HAVING count(*) > 3",
+            "SELECT a FROM t1, t2 WHERE t1.x = t2.y ORDER BY a DESC LIMIT 2",
+            "SELECT a FROM (SELECT b AS a FROM u) AS s WHERE a IN (1, 2)",
+            "INSERT INTO t (a, b) VALUES (1, 'x''y')",
+            "UPDATE t SET a = a + 1 WHERE b BETWEEN 1 AND 2",
+            "DELETE FROM t WHERE name LIKE 'ab%'",
+            "SELECT a FROM t WHERE (a = 1 OR b = 2) AND NOT c = 3",
+        ],
+    )
+    def test_round_trip(self, sql):
+        first = parse(sql)
+        second = parse(str(first))
+        assert first == second

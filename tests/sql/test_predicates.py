@@ -1,0 +1,242 @@
+"""Predicate normalization tests, including DNF equivalence properties."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast, parse
+from repro.sql.predicates import (
+    FilterPredicate,
+    JoinPredicate,
+    classify_atom,
+    classify_conjuncts,
+    conjuncts_of,
+    dnf_terms,
+    referenced_columns,
+    to_dnf,
+    to_nnf,
+)
+
+
+def where_of(sql: str) -> ast.Expr:
+    return parse(f"SELECT a FROM t WHERE {sql}").where
+
+
+class TestConjuncts:
+    def test_none_is_empty(self):
+        assert conjuncts_of(None) == []
+
+    def test_single_atom(self):
+        expr = where_of("a = 1")
+        assert conjuncts_of(expr) == [expr]
+
+    def test_flat_and(self):
+        expr = where_of("a = 1 AND b = 2 AND c = 3")
+        assert len(conjuncts_of(expr)) == 3
+
+    def test_nested_and_flattened(self):
+        expr = ast.And(
+            items=(
+                where_of("a = 1"),
+                ast.And(items=(where_of("b = 2"), where_of("c = 3"))),
+            )
+        )
+        assert len(conjuncts_of(expr)) == 3
+
+    def test_or_not_split(self):
+        expr = where_of("a = 1 OR b = 2")
+        assert conjuncts_of(expr) == [expr]
+
+
+class TestNnf:
+    def test_not_comparison_flips_operator(self):
+        expr = to_nnf(where_of("NOT a < 1"))
+        assert isinstance(expr, ast.Comparison)
+        assert expr.op == ">="
+
+    def test_not_and_becomes_or(self):
+        expr = to_nnf(where_of("NOT (a = 1 AND b = 2)"))
+        assert isinstance(expr, ast.Or)
+
+    def test_not_or_becomes_and(self):
+        expr = to_nnf(where_of("NOT (a = 1 OR b = 2)"))
+        assert isinstance(expr, ast.And)
+
+    def test_double_negation_cancels(self):
+        expr = to_nnf(where_of("NOT NOT a = 1"))
+        assert isinstance(expr, ast.Comparison)
+        assert expr.op == "="
+
+    def test_not_is_null_flips(self):
+        expr = to_nnf(where_of("NOT a IS NULL"))
+        assert isinstance(expr, ast.IsNull)
+        assert expr.negated
+
+
+class TestDnf:
+    def test_paper_example6_forms_equivalent(self):
+        """(a AND b) OR (a AND c)  vs  a AND (b OR c) — same disjuncts."""
+        form1 = where_of("(a = 1 AND b = 2) OR (a = 1 AND c = 3)")
+        form2 = where_of("a = 1 AND (b = 2 OR c = 3)")
+        terms1 = {frozenset(map(str, t)) for t in dnf_terms(form1)}
+        terms2 = {frozenset(map(str, t)) for t in dnf_terms(form2)}
+        assert terms1 == terms2
+
+    def test_atom_is_single_term(self):
+        assert len(dnf_terms(where_of("a = 1"))) == 1
+
+    def test_conjunction_is_single_term(self):
+        terms = dnf_terms(where_of("a = 1 AND b = 2"))
+        assert len(terms) == 1
+        assert len(terms[0]) == 2
+
+    def test_disjunction_splits(self):
+        terms = dnf_terms(where_of("a = 1 OR b = 2"))
+        assert len(terms) == 2
+
+    def test_distribution(self):
+        terms = dnf_terms(where_of("(a = 1 OR b = 2) AND (c = 3 OR d = 4)"))
+        assert len(terms) == 4
+
+    def test_to_dnf_shape(self):
+        expr = to_dnf(where_of("a = 1 AND (b = 2 OR c = 3)"))
+        assert isinstance(expr, ast.Or)
+        assert all(isinstance(item, ast.And) for item in expr.items)
+
+    def test_term_cap_bounds_blowup(self):
+        # 2^8 = 256 > cap of 64.
+        clauses = " AND ".join(
+            f"(a{i} = 1 OR b{i} = 2)" for i in range(8)
+        )
+        terms = dnf_terms(where_of(clauses))
+        assert len(terms) <= 64
+
+
+def _eval_bool(expr: ast.Expr, env: dict) -> bool:
+    """Tiny evaluator over {name: bool} environments.
+
+    ``a = 1`` reads variable a; negation rewriting turns ``NOT a = 1``
+    into ``a <> 1``, which must evaluate as the complement.
+    """
+    if isinstance(expr, ast.Comparison):
+        value = env[expr.left.column]
+        return value if expr.op == "=" else not value
+    if isinstance(expr, ast.And):
+        return all(_eval_bool(i, env) for i in expr.items)
+    if isinstance(expr, ast.Or):
+        return any(_eval_bool(i, env) for i in expr.items)
+    if isinstance(expr, ast.Not):
+        return not _eval_bool(expr.child, env)
+    raise AssertionError(f"unexpected node {expr}")
+
+
+@st.composite
+def boolean_exprs(draw, depth=0):
+    """Random boolean expressions over three variables."""
+    variables = ["a", "b", "c"]
+    if depth >= 3 or draw(st.booleans()):
+        name = draw(st.sampled_from(variables))
+        return ast.Comparison(
+            op="=",
+            left=ast.ColumnRef(column=name),
+            right=ast.Literal(value=1),
+        )
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return ast.Not(child=draw(boolean_exprs(depth=depth + 1)))
+    children = tuple(
+        draw(boolean_exprs(depth=depth + 1))
+        for _ in range(draw(st.integers(2, 3)))
+    )
+    return ast.And(items=children) if kind == "and" else ast.Or(items=children)
+
+
+class TestDnfProperties:
+    @given(boolean_exprs())
+    @settings(max_examples=120, deadline=None)
+    def test_dnf_preserves_truth_table(self, expr):
+        """DNF rewriting must not change the predicate's semantics."""
+        dnf = to_dnf(expr)
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            assert _eval_bool(expr, env) == _eval_bool(dnf, env)
+
+    @given(boolean_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_nnf_has_no_negated_connectives(self, expr):
+        nnf = to_nnf(expr)
+        for node in ast.walk(nnf):
+            if isinstance(node, ast.Not):
+                assert not isinstance(node.child, (ast.And, ast.Or))
+
+
+class TestClassification:
+    def test_eq_filter(self):
+        kind, fp = classify_atom(where_of("a = 5"))
+        assert kind == "filter"
+        assert fp.op == "="
+        assert fp.values == (5,)
+
+    def test_reversed_comparison_flips(self):
+        kind, fp = classify_atom(where_of("5 < a"))
+        assert kind == "filter"
+        assert fp.op == ">"
+
+    def test_between_filter(self):
+        kind, fp = classify_atom(where_of("a BETWEEN 1 AND 9"))
+        assert kind == "filter"
+        assert fp.op == "between"
+        assert fp.values == (1, 9)
+
+    def test_in_filter(self):
+        kind, fp = classify_atom(where_of("a IN (1, 2)"))
+        assert kind == "filter"
+        assert fp.values == (1, 2)
+
+    def test_like_filter(self):
+        kind, fp = classify_atom(where_of("a LIKE 'x%'"))
+        assert kind == "filter"
+        assert fp.is_range
+
+    def test_isnull_filter(self):
+        kind, fp = classify_atom(where_of("a IS NULL"))
+        assert kind == "filter"
+        assert fp.op == "isnull"
+
+    def test_join_atom(self):
+        kind, jp = classify_atom(where_of("t1.a = t2.b"))
+        assert kind == "join"
+        assert isinstance(jp, JoinPredicate)
+
+    def test_non_equi_column_comparison_is_other(self):
+        kind, _ = classify_atom(where_of("t1.a < t2.b"))
+        assert kind == "other"
+
+    def test_placeholder_counts_as_constant(self):
+        kind, fp = classify_atom(where_of("a = $1"))
+        assert kind == "filter"
+        assert fp.values == (None,)
+
+    def test_arithmetic_constant_side(self):
+        kind, fp = classify_atom(where_of("a = 1 + 2"))
+        assert kind == "filter"
+
+    def test_classify_conjuncts_buckets(self):
+        expr = where_of("a = 1 AND t1.x = t2.y AND t1.p < t2.q")
+        result = classify_conjuncts(conjuncts_of(expr))
+        assert len(result.filters) == 1
+        assert len(result.joins) == 1
+        assert len(result.other) == 1
+
+
+class TestReferencedColumns:
+    def test_collects_qualified_and_bare(self):
+        expr = where_of("t1.a = 1 AND b > 2")
+        assert referenced_columns(expr) == {("t1", "a"), (None, "b")}
+
+    def test_whole_statement(self):
+        stmt = parse("SELECT x FROM t WHERE y = 1 ORDER BY z")
+        cols = {c for _, c in referenced_columns(stmt)}
+        assert cols == {"x", "y", "z"}

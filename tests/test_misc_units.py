@@ -1,0 +1,119 @@
+"""Small-unit coverage: metric helpers, action rendering, stats utils."""
+
+import pytest
+
+from repro.bench.harness import RunStats
+from repro.core.mcts import Action, SearchResult
+from repro.core.templates import TemplateStore
+from repro.engine.index import IndexDef
+from repro.engine.metrics import IndexUsage
+from repro.sql import ast, parse
+
+
+class TestIndexUsage:
+    def test_rarely_used_flag(self):
+        usage = IndexUsage(
+            definition=IndexDef(table="t", columns=("a",)), lookups=0
+        )
+        assert usage.is_rarely_used
+        usage.lookups = 1
+        assert not usage.is_rarely_used
+
+    def test_maintenance_ratio(self):
+        usage = IndexUsage(
+            definition=IndexDef(table="t", columns=("a",)),
+            lookups=4,
+            maintenance_ops=20,
+        )
+        assert usage.maintenance_ratio() == 5.0
+
+    def test_maintenance_ratio_no_lookups(self):
+        usage = IndexUsage(
+            definition=IndexDef(table="t", columns=("a",)),
+            maintenance_ops=7,
+        )
+        assert usage.maintenance_ratio() == 7.0
+
+
+class TestRunStats:
+    def test_mean_cost(self):
+        stats = RunStats(total_cost=100.0, query_count=4)
+        assert stats.mean_cost == 25.0
+
+    def test_mean_cost_empty(self):
+        assert RunStats().mean_cost == 0.0
+
+    def test_throughput_zero_cost(self):
+        assert RunStats(query_count=5).throughput == 0.0
+
+
+class TestMctsValueObjects:
+    def test_action_rendering(self):
+        definition = IndexDef(table="t", columns=("a", "b"))
+        assert str(Action(kind="add", index=definition)) == "+t(a, b)"
+        assert str(Action(kind="remove", index=definition)) == "-t(a, b)"
+
+    def test_relative_improvement(self):
+        result = SearchResult(
+            best_config=[], best_benefit=25.0, baseline_cost=100.0,
+            iterations=1, evaluations=1,
+        )
+        assert result.relative_improvement == 0.25
+
+    def test_relative_improvement_zero_baseline(self):
+        result = SearchResult(
+            best_config=[], best_benefit=5.0, baseline_cost=0.0,
+            iterations=1, evaluations=1,
+        )
+        assert result.relative_improvement == 0.0
+
+
+class TestTemplateStoreUtilities:
+    def test_total_frequency(self):
+        store = TemplateStore()
+        for _ in range(3):
+            store.observe("SELECT a FROM t WHERE b = 1")
+        store.observe("SELECT c FROM t")
+        assert store.total_frequency() == 4.0
+
+    def test_contains(self):
+        store = TemplateStore()
+        store.observe("SELECT a FROM t WHERE b = 1")
+        assert "SELECT a FROM t WHERE b = $1" in store
+        assert "nope" not in store
+
+    def test_reset_window_clears_drift_counters(self):
+        store = TemplateStore(drift_window=2, drift_miss_ratio=0.1)
+        store.observe("SELECT a FROM t")
+        store.observe("SELECT b FROM t")
+        assert store.drift_detected()
+        store.reset_window()
+        assert not store.drift_detected()
+
+
+class TestAstRendering:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u)",
+            "SELECT a FROM t WHERE b > (SELECT max(c) FROM u)",
+            "SELECT t.* FROM t",
+            "SELECT count(DISTINCT a) FROM t",
+            "SELECT a FROM t WHERE NOT (b = 1 OR c = 2)",
+            "SELECT a FROM t WHERE b IS NOT NULL ORDER BY a DESC",
+        ],
+    )
+    def test_round_trips(self, sql):
+        first = parse(sql)
+        assert parse(str(first)) == first
+
+    def test_literal_rendering(self):
+        assert str(ast.Literal(value=None)) == "NULL"
+        assert str(ast.Literal(value=True)) == "TRUE"
+        assert str(ast.Literal(value="o'brien")) == "'o''brien'"
+        assert str(ast.Literal(value=3.5)) == "3.5"
+
+    def test_walk_counts_nodes(self):
+        stmt = parse("SELECT a FROM t WHERE b = 1 AND c = 2")
+        nodes = list(ast.walk(stmt))
+        assert sum(1 for n in nodes if isinstance(n, ast.Comparison)) == 2

@@ -1,0 +1,215 @@
+"""Cross-cutting property-based tests over the whole stack.
+
+These complement the per-module property tests: random queries over a
+random dataset must (1) plan with non-negative estimates, (2) return
+identical results with and without indexes, and (3) keep index
+structures consistent with the heap under random write mixes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+from repro.sql import parse
+from repro.sql.fingerprint import fingerprint, parameterize
+
+
+def fresh_db(indexed: bool) -> Database:
+    db = Database()
+    db.create_table(
+        table(
+            "t",
+            [("id", T.INT), ("a", T.INT), ("b", T.INT), ("c", T.TEXT)],
+            primary_key=["id"],
+        )
+    )
+    rng = random.Random(99)
+    db.load_rows(
+        "t",
+        [
+            (i, rng.randrange(30), rng.randrange(100), f"v{i % 7}")
+            for i in range(1200)
+        ],
+    )
+    if indexed:
+        db.create_index(IndexDef(table="t", columns=("a", "b")))
+        db.create_index(IndexDef(table="t", columns=("b",)))
+        db.create_index(IndexDef(table="t", columns=("c", "a")))
+    db.analyze()
+    return db
+
+
+_DBS = {}
+
+
+def get_db(indexed: bool) -> Database:
+    if indexed not in _DBS:
+        _DBS[indexed] = fresh_db(indexed)
+    return _DBS[indexed]
+
+
+@st.composite
+def random_predicates(draw):
+    """Random WHERE clauses over t(a, b, c)."""
+    atoms = []
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(["eq_a", "range_b", "eq_c", "in_a",
+                                     "between_b"]))
+        if kind == "eq_a":
+            atoms.append(f"a = {draw(st.integers(-5, 35))}")
+        elif kind == "range_b":
+            op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+            atoms.append(f"b {op} {draw(st.integers(-10, 110))}")
+        elif kind == "eq_c":
+            atoms.append(f"c = 'v{draw(st.integers(0, 9))}'")
+        elif kind == "in_a":
+            values = draw(
+                st.lists(st.integers(0, 30), min_size=1, max_size=4)
+            )
+            atoms.append(f"a IN ({', '.join(map(str, values))})")
+        else:
+            lo = draw(st.integers(0, 90))
+            atoms.append(f"b BETWEEN {lo} AND {lo + draw(st.integers(0, 20))}")
+    connective = draw(st.sampled_from([" AND ", " OR "]))
+    return connective.join(atoms)
+
+
+class TestQueryEquivalence:
+    @given(random_predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_indexes_never_change_results(self, predicate):
+        sql = f"SELECT id FROM t WHERE {predicate}"
+        plain = sorted(get_db(False).execute(sql).rows)
+        indexed = sorted(get_db(True).execute(sql).rows)
+        assert plain == indexed
+
+    @given(random_predicates())
+    @settings(max_examples=40, deadline=None)
+    def test_count_agrees_with_rows(self, predicate):
+        db = get_db(True)
+        rows = db.execute(f"SELECT id FROM t WHERE {predicate}").rowcount
+        count = db.execute(
+            f"SELECT count(*) FROM t WHERE {predicate}"
+        ).scalar
+        assert rows == count
+
+    @given(random_predicates())
+    @settings(max_examples=40, deadline=None)
+    def test_plans_have_sane_estimates(self, predicate):
+        db = get_db(True)
+        cost, plan = db.estimate_cost(f"SELECT id FROM t WHERE {predicate}")
+        assert cost >= 0
+        assert plan.est_rows >= 0
+
+
+class TestFingerprintProperties:
+    @given(random_predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_idempotent(self, predicate):
+        stmt = parse(f"SELECT id FROM t WHERE {predicate}")
+        fp = fingerprint(stmt)
+        assert fingerprint(parse(fp)) == fp
+
+    @given(random_predicates())
+    @settings(max_examples=40, deadline=None)
+    def test_parameterize_extracts_all_literals(self, predicate):
+        stmt = parse(f"SELECT id FROM t WHERE {predicate}")
+        parameterized = parameterize(stmt)
+        # The template must contain no remaining literal constants
+        # (placeholders only).
+        from repro.sql import ast
+
+        for node in ast.walk(parameterized.statement):
+            assert not isinstance(node, ast.Literal)
+
+
+class TestWriteConsistency:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 40)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_write_mix_keeps_index_consistent(self, operations):
+        db = Database()
+        db.create_table(
+            table(
+                "w",
+                [("id", T.INT), ("g", T.INT)],
+                primary_key=["id"],
+            )
+        )
+        db.create_index(IndexDef(table="w", columns=("g",)))
+        db.load_rows("w", [(i, i % 5) for i in range(40)])
+        db.analyze()
+        shadow = {i: i % 5 for i in range(40)}
+        next_id = 1000
+        for action, value in operations:
+            if action == 0:  # insert
+                db.execute(
+                    f"INSERT INTO w (id, g) VALUES ({next_id}, {value % 7})"
+                )
+                shadow[next_id] = value % 7
+                next_id += 1
+            elif action == 1 and shadow:  # update some existing row
+                target = sorted(shadow)[value % len(shadow)]
+                db.execute(
+                    f"UPDATE w SET g = {value % 7} WHERE id = {target}"
+                )
+                shadow[target] = value % 7
+            elif shadow:  # delete
+                target = sorted(shadow)[value % len(shadow)]
+                db.execute(f"DELETE FROM w WHERE id = {target}")
+                del shadow[target]
+        # Index-served group counts must equal the shadow model.
+        for g in range(7):
+            got = db.execute(
+                f"SELECT count(*) FROM w WHERE g = {g}"
+            ).scalar
+            want = sum(1 for v in shadow.values() if v == g)
+            assert got == want
+
+        index = db.catalog.get_index(IndexDef(table="w", columns=("g",)))
+        index.tree.check_invariants()
+        assert index.entry_count == len(shadow)
+
+
+class TestEstimationCalibration:
+    """Optimizer estimates must track executor reality.
+
+    These are the loose-but-meaningful bounds that keep what-if tuning
+    honest: gross miscalibration here would silently corrupt every
+    benefit estimate the advisor produces.
+    """
+
+    @given(random_predicates())
+    @settings(max_examples=30, deadline=None)
+    def test_row_estimates_track_actuals(self, predicate):
+        db = get_db(True)
+        sql = f"SELECT id FROM t WHERE {predicate}"
+        _cost, plan = db.estimate_cost(sql)
+        actual = db.execute(sql).rowcount
+        est = plan.est_rows
+        # Within a generous band: estimates may be off, but not by
+        # orders of magnitude on simple single-table predicates.
+        assert est <= max(actual * 12, 120)
+        if actual > 100:
+            assert est >= actual / 12
+
+    @given(random_predicates())
+    @settings(max_examples=30, deadline=None)
+    def test_cost_estimates_track_actuals(self, predicate):
+        db = get_db(True)
+        sql = f"SELECT id FROM t WHERE {predicate}"
+        est_cost, _plan = db.estimate_cost(sql)
+        actual_cost = db.execute(sql).cost
+        assert est_cost <= actual_cost * 15 + 50
+        assert actual_cost <= est_cost * 15 + 50

@@ -1,0 +1,133 @@
+"""Statistical sanity checks on the workload generators.
+
+The evaluation's validity depends on the generators producing the
+distributions the paper's scenarios assume (transaction mixes, skew,
+service splits); these tests pin those properties down.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    BankingWorkload,
+    EpidemicWorkload,
+    TpccWorkload,
+    TpcdsWorkload,
+)
+from repro.workloads.base import weighted_choice
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(1)
+        counts = Counter(
+            weighted_choice(rng, [8.0, 1.0, 1.0]) for _ in range(5000)
+        )
+        assert counts[0] > counts[1] * 4
+        assert counts[0] > counts[2] * 4
+
+    def test_single_weight(self):
+        rng = random.Random(1)
+        assert weighted_choice(rng, [5.0]) == 0
+
+    def test_zero_tail_never_picked(self):
+        rng = random.Random(1)
+        picks = {weighted_choice(rng, [1.0, 0.0]) for _ in range(200)}
+        assert picks == {0}
+
+
+class TestTpccMix:
+    def test_transaction_mix_tracks_spec_weights(self):
+        generator = TpccWorkload(scale=1, seed=11)
+        tags = Counter(q.tag for q in generator.queries(4000, seed=1))
+        total = sum(tags.values())
+        # new_order + payment dominate (the spec puts them at 88%).
+        assert (tags["new_order"] + tags["payment"]) / total > 0.7
+        # The three read-mostly transactions exist but are rare.
+        for tag in ("order_status", "delivery", "stock_level"):
+            assert 0 < tags[tag] / total < 0.2
+
+    def test_insert_ids_do_not_collide_with_loaded_data(self):
+        generator = TpccWorkload(scale=1, seed=11)
+        queries = generator.queries(1000, seed=0)
+        inserted_order_ids = [
+            int(q.sql.split("VALUES (1, ")[1].split(",")[1])
+            for q in queries
+            if q.sql.startswith("INSERT INTO orders")
+        ]
+        assert all(
+            oid > generator.orders_per_district
+            for oid in inserted_order_ids
+        )
+
+    def test_different_seeds_differ(self):
+        generator = TpccWorkload(scale=1, seed=11)
+        a = [q.sql for q in generator.queries(100, seed=1)]
+        b = [q.sql for q in generator.queries(100, seed=2)]
+        assert a != b
+
+
+class TestBankingSplit:
+    def test_hybrid_mix_is_mostly_withdrawal(self):
+        generator = BankingWorkload(
+            accounts=400, txn_rows=800, product_rows=10
+        )
+        tags = Counter(
+            q.tag for q in generator.queries(2000, seed=1)
+        )
+        assert tags["withdraw"] > tags["summarize"]
+        assert tags["summarize"] > 0
+
+    def test_withdrawals_are_write_heavy(self):
+        generator = BankingWorkload(
+            accounts=400, txn_rows=800, product_rows=10
+        )
+        queries = generator.withdrawal_queries(500, seed=1)
+        write_share = sum(q.is_write for q in queries) / len(queries)
+        assert 0.3 < write_share < 0.7
+
+    def test_txn_ids_monotonic(self):
+        generator = BankingWorkload(
+            accounts=400, txn_rows=800, product_rows=10
+        )
+        inserts = [
+            q.sql
+            for q in generator.withdrawal_queries(300, seed=1)
+            if q.sql.startswith("INSERT INTO txn_log")
+        ]
+        ids = [int(sql.split("VALUES (")[1].split(",")[0]) for sql in inserts]
+        assert ids == sorted(ids)
+        assert ids[0] > 800  # beyond the loaded rows
+
+
+class TestTpcdsProperties:
+    def test_three_channels_covered(self):
+        queries = TpcdsWorkload().queries()
+        text = " ".join(q.sql for q in queries)
+        assert "store_sales" in text
+        assert "catalog_sales" in text
+        assert "web_sales" in text
+
+    def test_count_cap(self):
+        generator = TpcdsWorkload()
+        assert len(generator.queries(count=10)) == 10
+
+    def test_deterministic_given_seed(self):
+        a = [q.sql for q in TpcdsWorkload(seed=5).queries()]
+        b = [q.sql for q in TpcdsWorkload(seed=5).queries()]
+        assert a == b
+
+
+class TestEpidemicShape:
+    def test_w1_has_count_and_point_queries(self):
+        generator = EpidemicWorkload(people=500)
+        sqls = [q.sql for q in generator.phase_w1(200, seed=1)]
+        assert any("count(*)" in s for s in sqls)
+        assert any("community =" in s for s in sqls)
+
+    def test_w3_touches_name_community(self):
+        generator = EpidemicWorkload(people=500)
+        sqls = [q.sql for q in generator.phase_w3(200, seed=1)]
+        assert any("name = " in s and "community = " in s for s in sqls)

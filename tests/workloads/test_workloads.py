@@ -1,0 +1,193 @@
+"""Workload generator tests: schema integrity, determinism, executability."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.workloads import (
+    BankingWorkload,
+    DynamicWorkload,
+    EpidemicWorkload,
+    TpccWorkload,
+    TpcdsWorkload,
+)
+from repro.workloads.banking import NUM_PRODUCT_TABLES, NUM_SUMMARY_TABLES
+from repro.workloads.dynamic import epidemic_phases, tpcc_rounds
+
+
+@pytest.fixture(scope="module")
+def tpcc_db():
+    generator = TpccWorkload(scale=1)
+    db = Database()
+    generator.build(db)
+    return generator, db
+
+
+@pytest.fixture(scope="module")
+def tpcds_db():
+    generator = TpcdsWorkload()
+    db = Database()
+    generator.build(db)
+    return generator, db
+
+
+class TestTpcc:
+    def test_nine_tables(self, tpcc_db):
+        generator, db = tpcc_db
+        assert len(generator.schemas()) == 9
+        assert set(db.catalog.table_names()) == {
+            "warehouse", "district", "customer", "history", "orders",
+            "new_order", "order_line", "item", "stock",
+        }
+
+    def test_row_counts_scale(self):
+        small = TpccWorkload(scale=1)
+        large = TpccWorkload(scale=3)
+        assert large.customers_per_district == 3 * small.customers_per_district
+        assert large.items == 3 * small.items
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            TpccWorkload(scale=0)
+
+    def test_queries_deterministic(self, tpcc_db):
+        generator, _db = tpcc_db
+        a = [q.sql for q in TpccWorkload(scale=1).queries(50, seed=5)]
+        b = [q.sql for q in TpccWorkload(scale=1).queries(50, seed=5)]
+        assert a == b
+
+    def test_mix_contains_all_transactions(self, tpcc_db):
+        generator, _db = tpcc_db
+        tags = {q.tag for q in generator.queries(800, seed=1)}
+        assert tags == {
+            "new_order", "payment", "order_status", "delivery",
+            "stock_level",
+        }
+
+    def test_all_queries_execute(self, tpcc_db):
+        generator, db = tpcc_db
+        for query in generator.queries(150, seed=2):
+            result = db.execute(query.sql)
+            assert result.cost > 0
+
+    def test_write_ratio_substantial(self, tpcc_db):
+        generator, _db = tpcc_db
+        queries = generator.queries(500, seed=3)
+        writes = sum(1 for q in queries if q.is_write)
+        assert 0.25 < writes / len(queries) < 0.75
+
+
+class TestTpcds:
+    def test_star_schema_present(self, tpcds_db):
+        _generator, db = tpcds_db
+        assert db.catalog.has_table("store_sales")
+        assert db.catalog.has_table("date_dim")
+        assert db.catalog.has_table("item")
+
+    def test_queries_are_tagged_and_read_only(self, tpcds_db):
+        generator, _db = tpcds_db
+        queries = generator.queries()
+        assert len(queries) >= 50
+        assert all(q.tag and q.tag.startswith("q") for q in queries)
+        assert all(not q.is_write for q in queries)
+
+    def test_tags_unique(self, tpcds_db):
+        generator, _db = tpcds_db
+        tags = [q.tag for q in generator.queries()]
+        assert len(tags) == len(set(tags))
+
+    def test_sample_queries_execute(self, tpcds_db):
+        generator, db = tpcds_db
+        for query in generator.queries()[:10]:
+            db.execute(query.sql)
+
+    def test_q32_style_query_present(self, tpcds_db):
+        generator, _db = tpcds_db
+        assert any(
+            "i_manufact_id" in q.sql and "cs_item_sk" in q.sql
+            for q in generator.queries()
+        )
+
+
+class TestBanking:
+    def test_144_tables(self):
+        generator = BankingWorkload()
+        assert len(generator.schemas()) == 144
+        assert NUM_PRODUCT_TABLES + NUM_SUMMARY_TABLES + 5 == 144
+
+    def test_exactly_263_manual_indexes(self):
+        generator = BankingWorkload()
+        assert len(generator.manual_withdraw_indexes()) == 263
+
+    def test_manual_indexes_reference_real_columns(self):
+        generator = BankingWorkload()
+        schemas = {s.name: s for s in generator.schemas()}
+        for definition in generator.manual_withdraw_indexes():
+            schema = schemas[definition.table]
+            for column in definition.columns:
+                assert schema.has_column(column)
+
+    def test_withdrawal_and_summary_streams(self):
+        generator = BankingWorkload(accounts=500, txn_rows=1000,
+                                    product_rows=20)
+        wd = generator.withdrawal_queries(50, seed=1)
+        sm = generator.summarization_queries(20, seed=1)
+        assert all(q.tag == "withdraw" for q in wd)
+        assert all(q.tag == "summarize" for q in sm)
+        assert any(q.is_write for q in wd)
+        assert all(not q.is_write for q in sm)
+
+    def test_small_banking_executes(self):
+        generator = BankingWorkload(
+            accounts=300, txn_rows=600, product_rows=10
+        )
+        db = Database()
+        generator.build(db, with_defaults=False)
+        for query in generator.queries(40, seed=2):
+            db.execute(query.sql)
+
+
+class TestEpidemic:
+    def test_phases_have_expected_mix(self):
+        generator = EpidemicWorkload(people=500)
+        w1 = generator.phase_w1(100, seed=1)
+        w2 = generator.phase_w2(100, seed=2)
+        w3 = generator.phase_w3(100, seed=3)
+        assert all(not q.is_write for q in w1)
+        assert sum(q.is_write for q in w2) > 80
+        writes_w3 = sum(q.is_write for q in w3)
+        assert 30 < writes_w3 < 90
+
+    def test_insert_ids_monotonic(self):
+        generator = EpidemicWorkload(people=100)
+        inserts = [
+            q.sql for q in generator.phase_w2(50, seed=1) if q.is_write
+        ]
+        ids = [int(sql.split("VALUES (")[1].split(",")[0]) for sql in inserts]
+        assert ids == sorted(ids)
+        assert ids[0] >= 100
+
+    def test_full_pipeline_executes(self):
+        generator = EpidemicWorkload(people=400)
+        db = Database()
+        generator.build(db)
+        for query in generator.queries(60, seed=1):
+            db.execute(query.sql)
+
+
+class TestDynamic:
+    def test_epidemic_phases_wrapper(self):
+        generator = EpidemicWorkload(people=200)
+        dynamic = epidemic_phases(generator, queries_per_phase=10)
+        assert len(dynamic) == 3
+        names = [phase.name for phase in dynamic]
+        assert names == ["W1-reads", "W2-inserts", "W3-updates"]
+        for phase in dynamic:
+            assert len(phase.queries(seed=1)) == 10
+
+    def test_tpcc_rounds_distinct_parameters(self):
+        generator = TpccWorkload(scale=1)
+        dynamic = tpcc_rounds(generator, rounds=3, queries_per_round=30)
+        assert len(dynamic) == 3
+        first = [q.sql for q in dynamic.phases[0].queries(seed=0)]
+        second = [q.sql for q in dynamic.phases[1].queries(seed=0)]
+        assert first != second
