@@ -123,12 +123,48 @@ def _summarise(result: object, indent: str = "  ") -> None:
     print(f"{indent}{result}")
 
 
+def run_perf(
+    target: str, iterations: int, rounds: int, out: str
+) -> int:
+    """Dispatch a performance benchmark (``--perf mcts``)."""
+    if target != "mcts":  # argparse choices already guard this
+        print(f"unknown perf target {target!r}")
+        return 2
+    from repro.bench.perf import render_mcts_perf, run_mcts_perf
+
+    print("=== perf: MCTS full vs delta costing ===")
+    report = run_mcts_perf(
+        iterations=iterations, rounds=rounds, out_path=out
+    )
+    for line in render_mcts_perf(report):
+        print("  " + line)
+    print(f"  written to {out}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the AutoIndex paper's experiments.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--perf",
+        choices=["mcts"],
+        help="run a performance benchmark instead of an experiment",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=200,
+        help="total MCTS iterations for --perf (default 200)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=6,
+        help="tuning rounds to split iterations over (default 6)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_mcts.json",
+        help="output JSON path for --perf",
+    )
+    sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run experiments")
     run.add_argument("experiments", nargs="*", help="experiment ids")
@@ -137,6 +173,14 @@ def main(argv: List[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.perf:
+        if args.iterations < 1:
+            parser.error("--iterations must be >= 1")
+        if args.rounds < 1:
+            parser.error("--rounds must be >= 1")
+        return run_perf(args.perf, args.iterations, args.rounds, args.out)
+    if args.command is None:
+        parser.error("a command is required unless --perf is given")
     if args.command == "list":
         list_experiments()
         return 0

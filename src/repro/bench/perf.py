@@ -1,0 +1,176 @@
+"""Performance benchmark: full vs delta costing across MCTS rounds.
+
+``python -m repro.bench --perf mcts`` times N MCTS iterations split
+over several tuning rounds on TPC-C, once with the incremental
+machinery disabled (full: every evaluation re-costs the whole
+workload, no feature tier, no plan memoisation — the pre-delta
+behaviour) and once with it enabled. The estimator caches are cleared
+between rounds in both modes, emulating the model retrain that
+normally happens there; the feature tier is exactly what survives
+that clear, so the delta mode re-plans almost nothing after round
+one.
+
+Because delta costs are bitwise-identical to full recomputation, both
+modes follow the same search trajectory under the same seed — the
+comparison measures pure bookkeeping overhead, not different
+searches.
+
+Writes ``BENCH_mcts.json`` with per-mode wall time, planner
+invocations, model predictions, and cache statistics, plus the
+full/delta ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List
+
+from repro.bench.harness import prepare_database
+from repro.core.candidates import CandidateGenerator
+from repro.core.estimator import BenefitEstimator
+from repro.core.mcts import MctsIndexSelector
+from repro.core.templates import TemplateStore
+from repro.workloads.tpcc import TpccWorkload
+
+
+def _build_workload(observe_queries: int):
+    """Fresh TPC-C database + observed templates + candidates."""
+    generator = TpccWorkload(scale=1, seed=11)
+    db = prepare_database(generator)
+    store = TemplateStore()
+    for query in generator.queries(observe_queries, seed=3):
+        store.observe(query.sql, db.parse_statement(query.sql))
+    templates = store.templates(top=120)
+    candidates = CandidateGenerator(db.catalog).generate(templates)
+    return db, templates, [c.definition for c in candidates]
+
+
+def _run_mode(
+    delta: bool,
+    iterations: int,
+    rounds: int,
+    seed: int,
+    observe_queries: int,
+) -> Dict:
+    db, templates, candidates = _build_workload(observe_queries)
+    if delta:
+        estimator = BenefitEstimator(db)
+    else:
+        # Pre-change behaviour: no feature tier, no plan memoisation,
+        # every config costed from scratch.
+        db.planner.plan_cache_enabled = False
+        estimator = BenefitEstimator(db, feature_cache_size=0)
+    selector = MctsIndexSelector(
+        estimator,
+        iterations=max(iterations // rounds, 1),
+        rollouts=2,
+        patience=10**9,  # never stop early: fixed work per round
+        rng=random.Random(seed),
+        delta_costing=delta,
+    )
+    existing = db.index_defs()
+    protected = [d for d in existing if d.unique]
+
+    results = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        result = selector.search(
+            existing=existing,
+            candidates=candidates,
+            templates=templates,
+            protected=protected,
+        )
+        results.append(result)
+        # Between rounds the model is normally retrained; the cost
+        # tier dies with the old model either way.
+        estimator.clear_cache()
+    wall_seconds = time.perf_counter() - start
+
+    stats = estimator.cache_stats()
+    return {
+        "mode": "delta" if delta else "full",
+        "wall_seconds": wall_seconds,
+        "plans_computed": estimator.plans_computed,
+        "model_predictions": estimator.estimate_calls,
+        "evaluations": sum(r.evaluations for r in results),
+        "best_benefit": results[-1].best_benefit,
+        "best_config": [str(d) for d in results[-1].best_config],
+        "cost_cache": stats["cost"].as_dict(),
+        "feature_cache": stats["features"].as_dict(),
+        "planner_access_paths": db.planner.access_paths_computed,
+        "plan_cache": db.planner.plan_cache_stats().as_dict(),
+    }
+
+
+def run_mcts_perf(
+    iterations: int = 200,
+    rounds: int = 6,
+    out_path: str = "BENCH_mcts.json",
+    seed: int = 17,
+    observe_queries: int = 400,
+) -> Dict:
+    """Time full-vs-delta MCTS and write the comparison JSON."""
+    full = _run_mode(False, iterations, rounds, seed, observe_queries)
+    delta = _run_mode(True, iterations, rounds, seed, observe_queries)
+
+    identical = (
+        full["best_benefit"] == delta["best_benefit"]
+        and full["best_config"] == delta["best_config"]
+    )
+    report = {
+        "benchmark": "mcts-full-vs-delta",
+        "workload": "tpcc scale=1",
+        "iterations": iterations,
+        "rounds": rounds,
+        "seed": seed,
+        "full": full,
+        "delta": delta,
+        "speedup_wall": _ratio(
+            full["wall_seconds"], delta["wall_seconds"]
+        ),
+        "plan_reduction": _ratio(
+            full["plans_computed"], delta["plans_computed"]
+        ),
+        "prediction_reduction": _ratio(
+            full["model_predictions"], delta["model_predictions"]
+        ),
+        "identical_result": identical,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def _ratio(full: float, delta: float) -> float:
+    return float(full) / max(float(delta), 1e-12)
+
+
+def render_mcts_perf(report: Dict) -> List[str]:
+    """Human-readable lines for the CLI."""
+    lines = [
+        f"workload: {report['workload']}  "
+        f"iterations: {report['iterations']} over "
+        f"{report['rounds']} rounds",
+    ]
+    for mode in ("full", "delta"):
+        m = report[mode]
+        lines.append(
+            f"{mode:6s} {m['wall_seconds']:8.2f}s  "
+            f"plans={m['plans_computed']:<6d} "
+            f"predictions={m['model_predictions']:<6d} "
+            f"cost-cache hit rate="
+            f"{m['cost_cache']['hit_rate']:.2f}"
+        )
+    lines.append(
+        f"speedup: {report['speedup_wall']:.2f}x wall, "
+        f"{report['plan_reduction']:.2f}x fewer plans, "
+        f"{report['prediction_reduction']:.2f}x fewer predictions"
+    )
+    lines.append(
+        "identical result: " + ("yes" if report["identical_result"]
+                                else "NO (investigate)")
+    )
+    return lines

@@ -38,6 +38,8 @@ class TuningReport:
     templates_used: int = 0
     candidates_considered: int = 0
     estimator_calls: int = 0
+    plans_computed: int = 0
+    cache_hit_rate: float = 0.0
     statements_analyzed: int = 0
     elapsed_seconds: float = 0.0
     search: Optional[SearchResult] = None
@@ -72,6 +74,8 @@ class TuningReport:
             f"analysed {self.templates_used} templates, "
             f"{self.candidates_considered} candidates, "
             f"{self.estimator_calls} estimator calls "
+            f"({self.plans_computed} plans, "
+            f"{100 * self.cache_hit_rate:.0f}% cost-cache hits) "
             f"in {self.elapsed_seconds:.2f}s"
         )
         return "\n".join(lines)
@@ -106,6 +110,7 @@ class AutoIndexAdvisor:
         use_templates: bool = True,
         train_sample_rate: float = 0.05,
         seed: int = 17,
+        delta_costing: bool = True,
     ):
         self.db = db
         self.storage_budget = storage_budget
@@ -123,6 +128,7 @@ class AutoIndexAdvisor:
             iterations=mcts_iterations,
             rollouts=rollouts,
             seed=seed,
+            delta_costing=delta_costing,
         )
         self.diagnosis = IndexDiagnosis(db, self.store, self.generator)
         self.statements_analyzed = 0
@@ -259,6 +265,7 @@ class AutoIndexAdvisor:
         """
         start = time.perf_counter()
         calls_before = self.estimator.estimate_calls
+        plans_before = self.estimator.plans_computed
         report = TuningReport()
 
         if not force:
@@ -299,6 +306,10 @@ class AutoIndexAdvisor:
         report.estimator_calls = (
             self.estimator.estimate_calls - calls_before
         )
+        report.plans_computed = (
+            self.estimator.plans_computed - plans_before
+        )
+        report.cache_hit_rate = result.cache_stats["cost"].hit_rate
         report.statements_analyzed = self.statements_analyzed
         report.search = result
         report.elapsed_seconds = time.perf_counter() - start

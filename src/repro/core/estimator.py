@@ -16,7 +16,7 @@ Three layers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.core.features import (
 from repro.core.templates import QueryTemplate
 from repro.engine.database import Database
 from repro.engine.index import IndexDef
+from repro.engine.metrics import CacheStats, LruCache
 from repro.sql import ast
 
 
@@ -215,24 +216,59 @@ class HistorySample:
 
 
 class BenefitEstimator:
-    """Workload-level index benefit estimation with caching.
+    """Workload-level index benefit estimation with tiered caching.
 
     ``workload_cost(templates, config)`` sums frequency-weighted
-    per-template costs. Per-query costs are cached on the subset of
-    the configuration touching the statement's tables, so MCTS rollouts
-    that differ only in irrelevant indexes hit the cache.
+    per-template costs. Two bounded LRU tiers back it:
+
+    * the **cost tier** maps (template fingerprint, relevant index
+      subset) to a predicted cost; it is invalidated whenever the
+      *model* changes (:meth:`train`, :meth:`clear_cache`);
+    * the **feature tier** maps the same key to the planned
+      :class:`CostFeatures`; planning does not depend on the model, so
+      this tier survives retraining — after a model swap only
+      prediction re-runs, no statement is re-planned.
+
+    Both tiers key on the subset of the configuration touching the
+    statement's tables, so configurations that differ only in
+    irrelevant indexes share entries. Data/DDL changes are detected
+    via the catalog version and flush both tiers.
+
+    :meth:`workload_cost_delta` is the MCTS hot path: given a parent
+    configuration's per-template costs, only templates touching a
+    table whose index set changed are re-costed (via a table →
+    templates inverted index); everything else is reused verbatim, so
+    the delta total is bitwise-identical to a full recomputation.
     """
 
-    def __init__(self, db: Database, model=None):
+    def __init__(
+        self,
+        db: Database,
+        model=None,
+        cache_size: int = 50_000,
+        feature_cache_size: int = 50_000,
+    ):
         self.db = db
         self.model = model if model is not None else WhatIfCostModel()
         self.history: List[HistorySample] = []
-        self._cache: Dict[Tuple, float] = {}
+        self._cache = LruCache(cache_size)
+        self._feature_cache = LruCache(feature_cache_size)
         self._tables_cache: Dict[str, Tuple[str, ...]] = {}
-        self._sample_cache: Dict[str, ast.Statement] = {}
-        self.estimate_calls = 0  # tuning-overhead accounting
+        self._sample_cache = LruCache(cache_size)
+        self._inverted_cache = LruCache(8)
+        self._catalog_version = db.catalog.version
+        self.estimate_calls = 0  # model predictions (cost-tier misses)
+        self.plans_computed = 0  # planner invocations (feature misses)
 
     # -- estimation --------------------------------------------------------------
+
+    def _check_version(self) -> None:
+        """Flush both tiers if the database changed underneath us."""
+        version = self.db.catalog.version
+        if version != self._catalog_version:
+            self._cache.clear()
+            self._feature_cache.clear()
+            self._catalog_version = version
 
     def query_cost(
         self,
@@ -246,16 +282,31 @@ class BenefitEstimator:
         the placeholder form (unknown-value selectivities) is the
         fallback.
         """
-        key = self._cache_key(template, config)
+        self._check_version()
+        key, relevant = self._relevant_config(template, config)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        features = self._features_for(template, key, relevant)
         self.estimate_calls += 1
-        statement = self._representative(template)
-        features = compute_features(self.db, statement, list(config))
-        cost = float(self.model.predict_one(features))
-        self._cache[key] = cost
+        cost = float(self.model.predict(features.as_array()[None, :])[0])
+        self._cache.put(key, cost)
         return cost
+
+    def _features_for(
+        self,
+        template: QueryTemplate,
+        key: Tuple,
+        relevant: List[IndexDef],
+    ) -> CostFeatures:
+        """Feature-tier lookup; plans the statement only on a miss."""
+        features = self._feature_cache.get(key)
+        if features is None:
+            self.plans_computed += 1
+            statement = self._representative(template)
+            features = compute_features(self.db, statement, relevant)
+            self._feature_cache.put(key, features)
+        return features
 
     def _representative(self, template: QueryTemplate) -> ast.Statement:
         """A concrete statement standing in for the template."""
@@ -267,8 +318,69 @@ class BenefitEstimator:
                 cached = self.db.parse_statement(template.sample_sql)
             except Exception:
                 cached = template.statement
-            self._sample_cache[template.fingerprint] = cached
+            self._sample_cache.put(template.fingerprint, cached)
         return cached
+
+    def workload_costs(
+        self,
+        templates: Sequence[QueryTemplate],
+        config: Sequence[IndexDef],
+    ) -> np.ndarray:
+        """Frequency-weighted per-template costs under ``config``.
+
+        Cache misses are batched: features for every missing template
+        are planned, stacked into one matrix, and predicted with a
+        single :meth:`model.predict` call (the vectorized estimator
+        path) instead of one ``predict_one`` per template.
+        """
+        self._check_version()
+        out = np.zeros(len(templates), dtype=float)
+        self._fill_costs(templates, config, range(len(templates)), out)
+        return out
+
+    def _fill_costs(
+        self,
+        templates: Sequence[QueryTemplate],
+        config: Sequence[IndexDef],
+        positions,
+        out: np.ndarray,
+    ) -> None:
+        """Write weighted costs for ``positions`` into ``out``."""
+        # One pass over the config up front; per template only its
+        # (few) relevant definitions are touched, not the whole
+        # config. Keys match _relevant_config exactly.
+        by_table: Dict[str, List[IndexDef]] = {}
+        for d in config:
+            by_table.setdefault(d.table, []).append(d)
+        missing: List[Tuple[int, Tuple, float, CostFeatures]] = []
+        for i in positions:
+            template = templates[i]
+            weight = max(template.weight, 0.1)
+            relevant = [
+                d
+                for table in self._tables_of(template)
+                for d in by_table.get(table, ())
+            ]
+            relevant.sort(key=lambda d: d.key)
+            key = (
+                template.fingerprint,
+                tuple(d.key for d in relevant),
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                out[i] = weight * cached
+                continue
+            features = self._features_for(template, key, relevant)
+            missing.append((i, key, weight, features))
+        if not missing:
+            return
+        matrix = np.stack([m[3].as_array() for m in missing])
+        predicted = self.model.predict(matrix)
+        self.estimate_calls += len(missing)
+        for (i, key, weight, _features), cost in zip(missing, predicted):
+            cost = float(cost)
+            self._cache.put(key, cost)
+            out[i] = weight * cost
 
     def workload_cost(
         self,
@@ -276,11 +388,76 @@ class BenefitEstimator:
         config: Sequence[IndexDef],
     ) -> float:
         """Frequency-weighted total workload cost under ``config``."""
-        total = 0.0
-        for template in templates:
-            weight = max(template.weight, 0.1)
-            total += weight * self.query_cost(template, config)
-        return total
+        return float(self.workload_costs(templates, config).sum())
+
+    def workload_cost_delta(
+        self,
+        parent_costs: np.ndarray,
+        templates: Sequence[QueryTemplate],
+        parent_config: Sequence[IndexDef],
+        child_config: Sequence[IndexDef],
+    ) -> Tuple[float, np.ndarray]:
+        """Incrementally re-cost a config that differs from its parent.
+
+        Only templates referencing a table whose index set changed
+        between ``parent_config`` and ``child_config`` are re-costed;
+        every other entry of ``parent_costs`` is reused verbatim.
+        Because unaffected per-query costs are invariant under the
+        change (the cache key proves it), the returned total is
+        bitwise-identical to ``workload_cost(templates,
+        child_config)``.
+
+        ``parent_costs`` must be the array ``workload_costs(templates,
+        parent_config)`` returned for the *same* template sequence
+        with unchanged weights. Returns ``(total, per_template)``.
+        """
+        if len(parent_costs) != len(templates):
+            raise ValueError(
+                "parent_costs does not match the template sequence "
+                f"({len(parent_costs)} costs, {len(templates)} templates)"
+            )
+        self._check_version()
+        changed = self._changed_tables(parent_config, child_config)
+        if not changed:
+            return float(parent_costs.sum()), parent_costs
+        inverted = self._template_table_index(templates)
+        affected = sorted(
+            {i for table in changed for i in inverted.get(table, ())}
+        )
+        costs = parent_costs.copy()
+        if affected:
+            self._fill_costs(templates, child_config, affected, costs)
+        return float(costs.sum()), costs
+
+    @staticmethod
+    def _changed_tables(
+        parent_config: Sequence[IndexDef],
+        child_config: Sequence[IndexDef],
+    ) -> Set[str]:
+        """Tables whose index set differs between the two configs."""
+        # Compare identity keys, not the defs themselves: every key
+        # starts with the table name, and tuple hashing is far
+        # cheaper than dataclass hashing on this hot path.
+        parent_keys = {d.key for d in parent_config}
+        diff = parent_keys.symmetric_difference(
+            d.key for d in child_config
+        )
+        return {key[0] for key in diff}
+
+    def _template_table_index(
+        self, templates: Sequence[QueryTemplate]
+    ) -> Dict[str, Tuple[int, ...]]:
+        """Inverted index: table name → template positions touching it."""
+        key = tuple(t.fingerprint for t in templates)
+        inverted = self._inverted_cache.get(key)
+        if inverted is None:
+            build: Dict[str, List[int]] = {}
+            for i, template in enumerate(templates):
+                for table in self._tables_of(template):
+                    build.setdefault(table, []).append(i)
+            inverted = {t: tuple(ix) for t, ix in build.items()}
+            self._inverted_cache.put(key, inverted)
+        return inverted
 
     def benefit(
         self,
@@ -293,21 +470,55 @@ class BenefitEstimator:
             self.workload_cost(templates, config)
         )
 
-    def _cache_key(
-        self, template: QueryTemplate, config: Sequence[IndexDef]
-    ) -> Tuple:
+    def _tables_of(self, template: QueryTemplate) -> Tuple[str, ...]:
         tables = self._tables_cache.get(template.fingerprint)
         if tables is None:
             tables = referenced_tables(template.statement)
-            self._tables_cache[template.fingerprint] = tables
-        table_set = set(tables)
-        relevant = tuple(
-            sorted(d.key for d in config if d.table in table_set)
-        )
-        return (template.fingerprint, relevant)
+            if len(self._tables_cache) < 100_000:
+                self._tables_cache[template.fingerprint] = tables
+        return tables
 
-    def clear_cache(self) -> None:
+    def _relevant_config(
+        self, template: QueryTemplate, config: Sequence[IndexDef]
+    ) -> Tuple[Tuple, List[IndexDef]]:
+        """Cache key + the config subset that can affect the template.
+
+        Only indexes on the statement's referenced tables influence
+        its plan or maintenance charge, so the key (and the config
+        slice handed to the planner) is restricted to them.
+        """
+        table_set = set(self._tables_of(template))
+        relevant = sorted(
+            (d for d in config if d.table in table_set),
+            key=lambda d: d.key,
+        )
+        key = (template.fingerprint, tuple(d.key for d in relevant))
+        return key, relevant
+
+    def _cache_key(
+        self, template: QueryTemplate, config: Sequence[IndexDef]
+    ) -> Tuple:
+        return self._relevant_config(template, config)[0]
+
+    def clear_cache(self, include_features: bool = False) -> None:
+        """Drop predicted costs; optionally the planned features too.
+
+        The default keeps the feature tier: it is the right call after
+        a *model* change (costs stale, plans still valid). Pass
+        ``include_features=True`` only when plans themselves are
+        suspect — database changes are handled automatically via the
+        catalog version.
+        """
         self._cache.clear()
+        if include_features:
+            self._feature_cache.clear()
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        """Counters for both tiers (hits/misses/evictions/size)."""
+        return {
+            "cost": self._cache.stats(),
+            "features": self._feature_cache.stats(),
+        }
 
     # -- learning ------------------------------------------------------------------
 

@@ -24,9 +24,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.estimator import BenefitEstimator
 from repro.core.templates import QueryTemplate
 from repro.engine.index import IndexDef
+from repro.engine.metrics import CacheStats
 
 IndexKey = Tuple[str, Tuple[str, ...]]
 
@@ -54,6 +57,8 @@ class PolicyNode:
         "children",
         "visits",
         "own_benefit",
+        "costs",
+        "costs_epoch",
         "subtree_best",
         "epoch",
         "expanded",
@@ -72,6 +77,11 @@ class PolicyNode:
         self.children: List["PolicyNode"] = []
         self.visits = 0
         self.own_benefit: Optional[float] = None
+        # Per-template weighted costs of this config (delta-costing
+        # reference). Tracked with its own epoch: ``epoch`` doubles as
+        # the expansion marker and can be bumped without recosting.
+        self.costs: Optional[np.ndarray] = None
+        self.costs_epoch = -1
         self.subtree_best = -math.inf
         self.epoch = -1
         self.expanded = False
@@ -79,6 +89,8 @@ class PolicyNode:
     def invalidate(self) -> None:
         """Mark this node's estimates stale (workload changed)."""
         self.own_benefit = None
+        self.costs = None
+        self.costs_epoch = -1
         self.subtree_best = -math.inf
         self.epoch = -1
 
@@ -94,6 +106,8 @@ class SearchResult:
     evaluations: int
     additions: List[IndexDef] = field(default_factory=list)
     removals: List[IndexDef] = field(default_factory=list)
+    plans_computed: int = 0
+    cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
 
     @property
     def relative_improvement(self) -> float:
@@ -154,6 +168,8 @@ class MctsIndexSelector:
         max_children: int = 24,
         patience: int = 25,
         seed: int = 17,
+        rng: Optional[random.Random] = None,
+        delta_costing: bool = True,
     ):
         self.estimator = estimator
         self.gamma = gamma
@@ -162,7 +178,11 @@ class MctsIndexSelector:
         self.rollout_depth = rollout_depth
         self.max_children = max_children
         self.patience = patience
-        self.rng = random.Random(seed)
+        # An injected RNG makes rollouts reproducible run-to-run (and
+        # lets callers share one stream across components); ``seed``
+        # is the convenience fallback.
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.delta_costing = delta_costing
         self.tree = PolicyTree()
         # Search-scoped state (reset per round).
         self._universe: Dict[IndexKey, IndexDef] = {}
@@ -174,6 +194,9 @@ class MctsIndexSelector:
         self._evaluations = 0
         self._best_benefit = 0.0
         self._best_config: FrozenSet[IndexKey] = frozenset()
+        self._root_ref: Optional[
+            Tuple[FrozenSet[IndexKey], np.ndarray]
+        ] = None
 
     # ------------------------------------------------------------------
     # round entry point
@@ -213,9 +236,15 @@ class MctsIndexSelector:
         self.tree.new_epoch()
         root = self.tree.reroot(root_config)
 
-        self._baseline_cost = self.estimator.workload_cost(
+        root_costs = self.estimator.workload_costs(
             templates, self._defs_of(root_config)
         )
+        self._baseline_cost = float(root_costs.sum())
+        # Every delta evaluation needs a reference configuration whose
+        # per-template costs are known; the root is always valid.
+        self._root_ref = (root_config, root_costs)
+        root.costs = root_costs
+        root.costs_epoch = self.tree.epoch
         self._best_benefit = 0.0
         self._best_config = root_config
         stale_rounds = 0
@@ -247,9 +276,8 @@ class MctsIndexSelector:
             or self.estimator.db.index_size_bytes(c) <= self._budget
         }
         pruned_union = self._fit_to_budget(self._prune(frozenset(union)))
-        union_benefit = self._baseline_cost - self.estimator.workload_cost(
-            templates, self._defs_of(pruned_union)
-        )
+        union_cost, _ = self._cost_of(pruned_union, self._root_ref)
+        union_benefit = self._baseline_cost - union_cost
         if (
             union_benefit > self._best_benefit
             and self._within_budget(pruned_union)
@@ -259,11 +287,9 @@ class MctsIndexSelector:
 
         best_benefit = self._best_benefit
         best_config = self._prune(self._best_config)
+        final_cost, _ = self._cost_of(best_config, self._root_ref)
         best_benefit = max(
-            self._baseline_cost
-            - self.estimator.workload_cost(
-                templates, self._defs_of(best_config)
-            ),
+            self._baseline_cost - final_cost,
             best_benefit,
         )
         best_defs = self._defs_of(best_config)
@@ -282,6 +308,8 @@ class MctsIndexSelector:
             evaluations=self._evaluations,
             additions=additions,
             removals=removals,
+            plans_computed=self.estimator.plans_computed,
+            cache_stats=self.estimator.cache_stats(),
         )
 
     # ------------------------------------------------------------------
@@ -303,25 +331,37 @@ class MctsIndexSelector:
             total_visits = max(
                 sum(c.visits for c in node.children), 1
             )
+            log_total = math.log(max(total_visits, 2))
             node = max(
                 node.children,
-                key=lambda c: self._utility(c, total_visits),
+                key=lambda c: self._utility(
+                    c, total_visits, log_total=log_total
+                ),
             )
             depth += 1
             if node.visits == 0:
                 return node
 
-    def _utility(self, node: PolicyNode, total_visits: int) -> float:
-        """The paper's UCB: normalised benefit + exploration bonus."""
+    def _utility(
+        self,
+        node: PolicyNode,
+        total_visits: int,
+        log_total: Optional[float] = None,
+    ) -> float:
+        """The paper's UCB: normalised benefit + exploration bonus.
+
+        ``log_total`` lets the selection loop hoist the logarithm of
+        the shared visit total out of the per-child comparison.
+        """
         if node.visits == 0:
             return math.inf
+        if log_total is None:
+            log_total = math.log(max(total_visits, 2))
         benefit = node.subtree_best
         if benefit == -math.inf:
             benefit = 0.0
         normalised = benefit / max(self._baseline_cost, 1e-9)
-        exploration = self.gamma * math.sqrt(
-            math.log(max(total_visits, 2)) / node.visits
-        )
+        exploration = self.gamma * math.sqrt(log_total / node.visits)
         return normalised + exploration
 
     def _expand(self, node: PolicyNode) -> None:
@@ -358,16 +398,41 @@ class MctsIndexSelector:
         return actions
 
     def _evaluate(self, node: PolicyNode) -> float:
-        """Step 2 — node benefit from its config plus K random rollouts."""
+        """Step 2 — node benefit from its config plus K random rollouts.
+
+        The node itself is costed as a delta against its parent when
+        the parent's per-template costs are fresh (one edge away, so
+        only templates touching one table get re-costed); rollouts
+        then delta against the node, whose costs are fresh after its
+        own evaluation.
+        """
+        ref = self._ref_for(node.parent)
         if node.own_benefit is None or node.epoch != self.tree.epoch:
-            node.own_benefit = self._config_benefit(node.config)
+            node.own_benefit = self._config_benefit(node.config, ref)
             node.epoch = self.tree.epoch
         best = node.own_benefit
+        rollout_ref = self._ref_for(node)
         for _ in range(self.rollouts):
-            best = max(best, self._rollout(node.config))
+            best = max(best, self._rollout(node.config, rollout_ref))
         return best
 
-    def _rollout(self, config: FrozenSet[IndexKey]) -> float:
+    def _ref_for(
+        self, node: Optional[PolicyNode]
+    ) -> Optional[Tuple[FrozenSet[IndexKey], np.ndarray]]:
+        """A node's (config, costs) reference, if its costs are fresh."""
+        if (
+            node is not None
+            and node.costs is not None
+            and node.costs_epoch == self.tree.epoch
+        ):
+            return (node.config, node.costs)
+        return self._root_ref
+
+    def _rollout(
+        self,
+        config: FrozenSet[IndexKey],
+        ref: Optional[Tuple[FrozenSet[IndexKey], np.ndarray]] = None,
+    ) -> float:
         """Randomly extend a configuration to (near) the budget edge."""
         current = set(config)
         pool = [c for c in self._candidates if c.key not in current]
@@ -396,7 +461,7 @@ class MctsIndexSelector:
         removable = [k for k in current if k not in self._protected]
         if removable and self.rng.random() < 0.3:
             current.discard(self.rng.choice(removable))
-        return self._config_benefit(frozenset(current))
+        return self._config_benefit(frozenset(current), ref)
 
     def _backpropagate(self, node: PolicyNode, benefit: float) -> None:
         """Step 3 — push visits and max-benefit up the path."""
@@ -411,23 +476,50 @@ class MctsIndexSelector:
     # benefit plumbing
     # ------------------------------------------------------------------
 
-    def _config_benefit(self, config: FrozenSet[IndexKey]) -> float:
+    def _cost_of(
+        self,
+        config: FrozenSet[IndexKey],
+        ref: Optional[Tuple[FrozenSet[IndexKey], np.ndarray]] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Workload cost of ``config`` plus its per-template cost array.
+
+        With delta costing enabled and a reference available, only
+        templates touching tables whose index set differs from the
+        reference are re-costed; the result is bitwise identical to a
+        full recomputation (the estimator guarantees it).
+        """
+        defs = self._defs_of(config)
+        if self.delta_costing and ref is not None:
+            ref_config, ref_costs = ref
+            return self.estimator.workload_cost_delta(
+                ref_costs, self._templates, self._defs_of(ref_config), defs
+            )
+        costs = self.estimator.workload_costs(self._templates, defs)
+        return float(costs.sum()), costs
+
+    def _config_benefit(
+        self,
+        config: FrozenSet[IndexKey],
+        ref: Optional[Tuple[FrozenSet[IndexKey], np.ndarray]] = None,
+    ) -> float:
         if self._budget is not None and (
             self._config_size(config) > self._budget
         ):
             return -math.inf
         self._evaluations += 1
-        cost = self.estimator.workload_cost(
-            self._templates, self._defs_of(config)
-        )
+        if ref is None:
+            ref = self._root_ref
+        cost, costs = self._cost_of(config, ref)
         benefit = self._baseline_cost - cost
-        # Keep the registry node's own estimate fresh.
+        # Keep the registry node's own estimate (and cost array, the
+        # delta reference for its children) fresh.
         node = self.tree.registry.get(config)
-        if node is not None and (
-            node.own_benefit is None or node.epoch != self.tree.epoch
-        ):
-            node.own_benefit = benefit
-            node.epoch = self.tree.epoch
+        if node is not None:
+            if node.own_benefit is None or node.epoch != self.tree.epoch:
+                node.own_benefit = benefit
+                node.epoch = self.tree.epoch
+            node.costs = costs
+            node.costs_epoch = self.tree.epoch
         if benefit > self._best_benefit:
             self._best_benefit = benefit
             self._best_config = config
@@ -451,15 +543,13 @@ class MctsIndexSelector:
             removable = [k for k in current if k not in self._protected]
             if not removable:
                 return frozenset(current)  # nothing else can give
-            base_cost = self.estimator.workload_cost(
-                self._templates, self._defs_of(frozenset(current))
-            )
+            frozen = frozenset(current)
+            base_cost, base_costs = self._cost_of(frozen, self._root_ref)
             best_key = None
             best_ratio = None
             for key in removable:
-                without_cost = self.estimator.workload_cost(
-                    self._templates,
-                    self._defs_of(frozenset(current - {key})),
+                without_cost, _ = self._cost_of(
+                    frozen - {key}, (frozen, base_costs)
                 )
                 loss = max(without_cost - base_cost, 0.0)
                 size = self.estimator.db.index_size_bytes(
@@ -487,10 +577,9 @@ class MctsIndexSelector:
         improved = True
         while improved:
             improved = False
-            size = self._config_size(frozenset(current))
-            base_cost = self.estimator.workload_cost(
-                self._templates, self._defs_of(frozenset(current))
-            )
+            frozen = frozenset(current)
+            size = self._config_size(frozen)
+            base_cost, base_costs = self._cost_of(frozen, self._root_ref)
             best_key = None
             best_ratio = 0.0
             for candidate in self._candidates:
@@ -499,9 +588,8 @@ class MctsIndexSelector:
                 extra = self.estimator.db.index_size_bytes(candidate)
                 if size + extra > self._budget:
                     continue
-                with_cost = self.estimator.workload_cost(
-                    self._templates,
-                    self._defs_of(frozenset(current | {candidate.key})),
+                with_cost, _ = self._cost_of(
+                    frozen | {candidate.key}, (frozen, base_costs)
                 )
                 gain = base_cost - with_cost
                 if gain <= 1e-9:
@@ -530,9 +618,7 @@ class MctsIndexSelector:
         each freeloader still costs storage and write maintenance.
         """
         current = config
-        cost = self.estimator.workload_cost(
-            self._templates, self._defs_of(current)
-        )
+        cost, costs = self._cost_of(current, self._root_ref)
         improved = True
         while improved:
             improved = False
@@ -540,12 +626,13 @@ class MctsIndexSelector:
                 if key in self._protected:
                     continue
                 trial = current - {key}
-                trial_cost = self.estimator.workload_cost(
-                    self._templates, self._defs_of(trial)
+                trial_cost, trial_costs = self._cost_of(
+                    trial, (current, costs)
                 )
                 if trial_cost <= cost * (1.0 + 1e-9):
                     current = trial
                     cost = trial_cost
+                    costs = trial_costs
                     improved = True
         return current
 

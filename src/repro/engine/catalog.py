@@ -42,6 +42,16 @@ class Catalog:
         self._tables: Dict[str, TableEntry] = {}
         self._hypothetical: Dict[IndexKey, IndexDef] = {}
         self._masked: Set[IndexKey] = set()
+        # Monotonic data/DDL version. Cached plans and cost estimates
+        # embed this in their keys, so any change that can move an
+        # estimate (new data, new stats, new real index) invalidates
+        # them without a scan. What-if overlays do NOT bump it: the
+        # overlay is captured explicitly via index signatures.
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Signal that data, stats, or the real index set changed."""
+        self.version += 1
 
     # -- tables ---------------------------------------------------------------
 
@@ -50,10 +60,12 @@ class Catalog:
             raise ValueError(f"table {schema.name!r} already exists")
         entry = TableEntry(schema=schema, heap=HeapFile(schema))
         self._tables[schema.name] = entry
+        self.bump_version()
         return entry
 
     def drop_table(self, name: str) -> None:
         self._tables.pop(name)
+        self.bump_version()
 
     def table(self, name: str) -> TableEntry:
         try:
@@ -78,13 +90,16 @@ class Catalog:
         if key in entry.indexes:
             raise ValueError(f"index on {key} already exists")
         entry.indexes[key] = index
+        self.bump_version()
 
     def drop_index(self, definition: IndexDef) -> Index:
         entry = self.table(definition.table)
         try:
-            return entry.indexes.pop(definition.key)
+            index = entry.indexes.pop(definition.key)
         except KeyError:
             raise KeyError(f"no such index: {definition}") from None
+        self.bump_version()
+        return index
 
     def get_index(self, definition: IndexDef) -> Optional[Index]:
         entry = self._tables.get(definition.table)
@@ -140,6 +155,21 @@ class Catalog:
             d for d in self._hypothetical.values() if d.table == table
         )
         return defs
+
+    def table_index_signature(self, table: str) -> Tuple:
+        """Hashable fingerprint of the index set visible on ``table``.
+
+        Includes each visible index's identity key plus whether it is
+        materialised (a real B+Tree's measured shape differs from a
+        hypothetical estimate, so the two must not share cached
+        plans). Used as a plan/cost cache key component.
+        """
+        return tuple(
+            sorted(
+                (d.key, self.is_materialized(d))
+                for d in self.visible_index_defs(table)
+            )
+        )
 
     def index_shape(self, definition: IndexDef) -> IndexShape:
         """Physical shape for costing — exact if built, estimated if not."""

@@ -122,6 +122,7 @@ class Database:
         contents = list(entry.heap.scan())
         for index in entry.indexes.values():
             index.build(contents)
+        self.catalog.bump_version()
         return count
 
     def analyze(self, table: Optional[str] = None) -> None:
@@ -131,6 +132,7 @@ class Database:
             entry = self.catalog.table(name)
             rows = [row for _rid, row in entry.heap.scan()]
             entry.stats = analyze_table(rows, entry.schema.column_names)
+        self.catalog.bump_version()
 
     def table_row_count(self, table: str) -> int:
         return self.catalog.table(table).heap.row_count
@@ -161,10 +163,13 @@ class Database:
         result = ExecutionResult(plan=plan, tracker=tracker)
         if isinstance(plan, InsertPlan):
             result.rowcount = executor.run_insert(plan)
+            self.catalog.bump_version()
         elif isinstance(plan, UpdatePlan):
             result.rowcount = executor.run_update(plan)
+            self.catalog.bump_version()
         elif isinstance(plan, DeletePlan):
             result.rowcount = executor.run_delete(plan)
+            self.catalog.bump_version()
         else:
             result.rows = executor.run_select(plan)
             result.rowcount = len(result.rows)
@@ -368,6 +373,18 @@ class Database:
                     return ast.Literal(value=None)
                 if isinstance(node, ast.Literal):
                     return node
+                if isinstance(node, ast.InList):
+                    # The parent walker collapses IN-lists to one item
+                    # (template normalisation); when costing a
+                    # concrete statement the full list must survive —
+                    # IN (0, 1, 2) is three times as selective as
+                    # IN (0).
+                    return ast.InList(
+                        expr=self.expr(node.expr),
+                        items=tuple(
+                            self.expr(i) for i in node.items
+                        ),
+                    )
                 return super().expr(node)
 
         stripper = _Strip()

@@ -64,6 +64,13 @@ class IndexDef:
             raise ValueError(
                 f"duplicate columns in index on {self.table}: {self.columns}"
             )
+        # ``key`` is read on every cache lookup and sort in the
+        # advisor's hot path; build it once.
+        if self.scope is IndexScope.LOCAL:
+            key = (self.table, self.columns, "local")
+        else:
+            key = (self.table, self.columns)
+        object.__setattr__(self, "_key", key)
 
     @property
     def key(self) -> Tuple:
@@ -72,9 +79,7 @@ class IndexDef:
         Scope only differentiates LOCAL indexes so that unpartitioned
         catalogs keep the compact two-element key.
         """
-        if self.scope is IndexScope.LOCAL:
-            return (self.table, self.columns, "local")
-        return (self.table, self.columns)
+        return self._key
 
     @property
     def display_name(self) -> str:

@@ -1,18 +1,112 @@
-"""Workload execution metrics and index usage accounting.
+"""Workload execution metrics, cache accounting, and index usage.
 
 Feeds the paper's *Index Diagnosis* module: per-index usage counters
 (how often an index served a scan vs how often it had to be
 maintained) and a rolling view of workload cost used to detect
 performance regression.
+
+Also home to the bounded :class:`LruCache` (with hit/miss/eviction
+counters) shared by the costing layers — the estimator's per-query
+cost and feature caches and the planner's access-path memo all report
+their behaviour through :class:`CacheStats` so tuning overhead stays
+observable.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
 
 from repro.engine.index import IndexDef
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time counters for one bounded cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / max(self.lookups, 1)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LruCache:
+    """A size-bounded mapping with LRU eviction and usage counters.
+
+    ``maxsize <= 0`` disables the cache entirely (every ``get`` is a
+    miss, ``put`` is a no-op) — used by benchmarks to emulate the
+    uncached baseline without code forks.
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = 50_000):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default=None):
+        if self.maxsize <= 0:
+            self.misses += 1
+            return default
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        if self.maxsize <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
 
 
 @dataclass

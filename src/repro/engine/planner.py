@@ -30,6 +30,7 @@ from repro.engine.cost import (
     pages_fetched,
 )
 from repro.engine.index import IndexDef, IndexShape
+from repro.engine.metrics import CacheStats, LruCache
 from repro.engine.stats import TableStats
 from repro.sql import ast
 from repro.sql.predicates import (
@@ -85,9 +86,27 @@ class _BaseRel:
 class Planner:
     """Plans statements against a :class:`Catalog`."""
 
-    def __init__(self, catalog: Catalog, params: CostParams = DEFAULT_PARAMS):
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: CostParams = DEFAULT_PARAMS,
+        plan_cache_size: int = 8192,
+    ):
         self.catalog = catalog
         self.params = params
+        # Access-path memo: (table, binding, predicate, needed columns,
+        # per-table index signature, catalog version) -> chosen plan.
+        # Statement ASTs are immutable, so a cached subtree can be
+        # grafted into any number of enclosing plans. The per-table
+        # signature (not the whole configuration) is the key insight:
+        # two what-if configurations that differ only on *other*
+        # tables reuse this relation's access-path work.
+        self.plan_cache = LruCache(plan_cache_size)
+        self.plan_cache_enabled = True
+        self.access_paths_computed = 0
+
+    def plan_cache_stats(self) -> CacheStats:
+        return self.plan_cache.stats()
 
     # ------------------------------------------------------------------
     # entry point
@@ -447,7 +466,28 @@ class Planner:
         predicate: Optional[ast.Expr],
         needed_columns: Optional[Set[str]] = None,
     ) -> pl.PlanNode:
-        """Choose the cheapest access path for one relation."""
+        """Choose the cheapest access path for one relation.
+
+        Results are memoized on (table, binding, predicate, needed
+        columns, visible index signature, catalog version); the
+        returned plan node must therefore never be mutated by callers
+        — wrap it instead.
+        """
+        cache_key = None
+        if self.plan_cache_enabled:
+            cache_key = (
+                "access",
+                table,
+                binding,
+                predicate,
+                None if needed_columns is None else frozenset(needed_columns),
+                self.catalog.table_index_signature(table),
+                self.catalog.version,
+            )
+            cached = self.plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        self.access_paths_computed += 1
         entry = self.catalog.table(table)
         stats = entry.stats
         selectivity = self.estimate_selectivity(predicate, stats, binding)
@@ -479,6 +519,8 @@ class Planner:
             )
             if candidate is not None and candidate.est_cost < best.est_cost:
                 best = candidate
+        if cache_key is not None:
+            self.plan_cache.put(cache_key, best)
         return best
 
     def _sargable_maps(
@@ -647,6 +689,22 @@ class Planner:
         composite primary key (s_w_id, s_i_id) with a constant s_w_id
         and the join key s_i_id from the outer row.
         """
+        cache_key = None
+        if self.plan_cache_enabled:
+            cache_key = (
+                "param",
+                table,
+                binding,
+                join_column,
+                outer_expr,
+                local_predicate,
+                self.catalog.table_index_signature(table),
+                self.catalog.version,
+            )
+            cached = self.plan_cache.get(cache_key)
+            if cached is not None:
+                return cached or None  # False sentinel = "no path"
+        self.access_paths_computed += 1
         stats = self.catalog.stats(table)
         eq_map, _ranges = self._sargable_maps(local_predicate, binding)
         best: Optional[pl.IndexScanPlan] = None
@@ -697,6 +755,9 @@ class Planner:
             )
             if best is None or plan.est_cost < best.est_cost:
                 best = plan
+        if cache_key is not None:
+            # Store False (not None) so "no usable index" also caches.
+            self.plan_cache.put(cache_key, best if best is not None else False)
         return best
 
     # ------------------------------------------------------------------
@@ -891,6 +952,32 @@ class Planner:
     # selectivity
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _unique_atoms(items) -> List[ast.Expr]:
+        """Items deduped on semantic identity, order preserved.
+
+        Independence-assumption selectivity math squares (or worse)
+        when the same condition appears twice, so equivalent atoms
+        that merely differ in spelling must collapse: an IN-list is
+        keyed by its value set, and a one-element IN is the same atom
+        as the corresponding equality.
+        """
+        seen = {}
+        for item in items:
+            key: object = item
+            if isinstance(item, ast.InList):
+                values = frozenset(item.items)
+                if len(values) == 1:
+                    (only,) = values
+                    key = ("=", item.expr, only)
+                else:
+                    key = ("in", item.expr, values)
+            elif isinstance(item, ast.Comparison) and item.op == "=":
+                key = ("=", item.left, item.right)
+            if key not in seen:
+                seen[key] = item
+        return list(seen.values())
+
     def estimate_selectivity(
         self,
         predicate: Optional[ast.Expr],
@@ -900,13 +987,17 @@ class Planner:
         if predicate is None:
             return 1.0
         if isinstance(predicate, ast.And):
+            # Dedupe repeated conjuncts: `a IN (1,2) AND a IN (2,1)`
+            # must not square the selectivity. Atoms are deduped on a
+            # canonical key (IN-lists by value *set*, one-element
+            # IN ≡ equality), not raw node equality.
             sel = 1.0
-            for item in predicate.items:
+            for item in self._unique_atoms(predicate.items):
                 sel *= self.estimate_selectivity(item, stats, binding)
             return sel
         if isinstance(predicate, ast.Or):
             sel = 0.0
-            for item in predicate.items:
+            for item in self._unique_atoms(predicate.items):
                 s = self.estimate_selectivity(item, stats, binding)
                 sel = sel + s - sel * s
             return sel

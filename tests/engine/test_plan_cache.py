@@ -1,0 +1,65 @@
+"""Planner plan-memoization tests: reuse, keys, invalidation."""
+
+from repro.engine.index import IndexDef
+
+
+def _plan_twice(db, sql):
+    statement = db.parse_statement(sql)
+    db.planner.plan(statement)
+    before = db.planner.access_paths_computed
+    db.planner.plan(statement)
+    return before, db.planner.access_paths_computed
+
+
+class TestPlanMemoization:
+    def test_replan_hits_the_cache(self, people_db):
+        before, after = _plan_twice(
+            people_db, "SELECT id FROM people WHERE community = 3"
+        )
+        assert after == before
+        assert people_db.planner.plan_cache_stats().hits > 0
+
+    def test_disabled_cache_replans(self, people_db):
+        people_db.planner.plan_cache_enabled = False
+        before, after = _plan_twice(
+            people_db, "SELECT id FROM people WHERE community = 3"
+        )
+        assert after > before
+
+    def test_create_index_invalidates(self, people_db):
+        sql = "SELECT id FROM people WHERE community = 3"
+        statement = people_db.parse_statement(sql)
+        people_db.planner.plan(statement)
+        people_db.create_index(
+            IndexDef(table="people", columns=("community",))
+        )
+        before = people_db.planner.access_paths_computed
+        plan = people_db.planner.plan(statement)
+        assert people_db.planner.access_paths_computed > before
+        assert "community" in plan.explain()
+
+    def test_write_invalidates_via_catalog_version(self, people_db):
+        sql = "SELECT id FROM people WHERE community = 3"
+        statement = people_db.parse_statement(sql)
+        people_db.planner.plan(statement)
+        people_db.execute(
+            "INSERT INTO people (id, name, community, temperature, "
+            "status) VALUES (99999, 'x', 3, 37.0, 'healthy')"
+        )
+        before = people_db.planner.access_paths_computed
+        people_db.planner.plan(statement)
+        assert people_db.planner.access_paths_computed > before
+
+    def test_whatif_overlay_changes_the_key(self, people_db):
+        """Masking/adding hypothetical indexes must not reuse plans
+        cached for the real index set."""
+        sql = "SELECT id FROM people WHERE community = 3"
+        statement = people_db.parse_statement(sql)
+        hypo = IndexDef(table="people", columns=("community",))
+        baseline = people_db.planner.plan(statement).explain()
+        people_db.catalog.set_whatif(hypothetical=[hypo])
+        overlay = people_db.planner.plan(statement).explain()
+        people_db.catalog.clear_whatif()
+        again = people_db.planner.plan(statement).explain()
+        assert "community" in overlay
+        assert again == baseline
