@@ -1,0 +1,67 @@
+"""Baseline file support.
+
+A baseline records the fingerprints of violations that predate a rule
+so the rule can land (and gate new regressions) before the tree is
+fully clean.  The file is JSON, human-reviewable, and matched purely
+by fingerprint — line numbers in the entries are informational.
+
+The shipped ``lint-baseline.json`` is empty for ``core/`` and
+``engine/`` by policy: those layers carry the delta-costing
+invariants and must stay clean rather than baselined.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Set
+
+from repro.analysis.core import Violation
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The set of accepted (pre-existing) violation fingerprints."""
+
+    fingerprints: Set[str] = field(default_factory=set)
+
+    def accepts(self, violation: Violation) -> bool:
+        return violation.fingerprint in self.fingerprints
+
+    def filter_new(self, violations: Sequence[Violation]) -> List[Violation]:
+        return [v for v in violations if not self.accepts(v)]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load *path*; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries", [])
+    return Baseline(
+        fingerprints={
+            entry["fingerprint"] for entry in entries if "fingerprint" in entry
+        }
+    )
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Persist *violations* as the new accepted baseline."""
+    entries = [
+        {
+            "fingerprint": v.fingerprint,
+            "rule": v.rule,
+            "path": v.path,
+            "line": v.line,
+            "message": v.message,
+        }
+        for v in sorted(
+            violations, key=lambda v: (v.path, v.line, v.rule, v.message)
+        )
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

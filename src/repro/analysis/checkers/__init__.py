@@ -1,0 +1,20 @@
+"""Built-in checkers.
+
+Importing this package registers every shipped checker with the
+framework registry.  Third-party checkers can call
+:func:`repro.analysis.register` themselves.
+"""
+
+from repro.analysis.checkers.cachekeys import CacheKeyChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.exhaustiveness import ExhaustivenessChecker
+from repro.analysis.checkers.layers import LayerChecker
+from repro.analysis.checkers.mutation import FrozenMutationChecker
+
+__all__ = [
+    "CacheKeyChecker",
+    "DeterminismChecker",
+    "ExhaustivenessChecker",
+    "FrozenMutationChecker",
+    "LayerChecker",
+]

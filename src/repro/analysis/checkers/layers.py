@@ -1,0 +1,111 @@
+"""Layer purity checker.
+
+Enforces the package import DAG::
+
+    sql  ->  engine  ->  core  ->  bench
+                \\________ workloads _/
+
+* ``sql`` imports nothing from the package (the grammar layer);
+* ``engine`` may import ``sql`` only — never ``core`` (the engine
+  must not know about tuning);
+* ``core`` may import ``engine`` and ``sql``;
+* ``workloads`` may import ``sql`` and ``engine`` (workload
+  generators build schemas/statements, not tuning logic);
+* ``bench`` may import everything, and **nothing imports bench**
+  except ``__main__`` entry points and tests;
+* ``analysis`` is self-contained (stdlib + itself) so the linter can
+  run without the engine's dependencies installed.
+
+Only absolute ``repro.*`` imports are considered; stdlib and
+third-party imports are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set
+
+from repro.analysis.core import KNOWN_LAYERS, Checker, ModuleInfo, Violation, register
+
+#: importer layer -> package layers it may import.  ``""`` is the
+#: package root (``repro/__init__.py``, ``repro/lint.py``): glue code
+#: that may see everything except bench.
+ALLOWED_IMPORTS: Dict[str, Set[str]] = {
+    "sql": {"sql"},
+    "engine": {"engine", "sql"},
+    "core": {"core", "engine", "sql"},
+    "workloads": {"workloads", "sql", "engine"},
+    "bench": {"bench", "core", "engine", "sql", "workloads", "analysis", ""},
+    "analysis": {"analysis"},
+    "": {"sql", "engine", "core", "workloads", "analysis", ""},
+}
+
+
+@register
+class LayerChecker(Checker):
+    name = "layer"
+    description = (
+        "imports must follow the sql -> engine -> core -> bench DAG; "
+        "nothing imports bench except __main__/tests"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Violation]:
+        layer = module.layer
+        if layer is None:
+            return []
+        return list(self._check_imports(module, layer))
+
+    def _check_imports(
+        self, module: ModuleInfo, layer: str
+    ) -> Iterator[Violation]:
+        allowed = ALLOWED_IMPORTS.get(layer)
+        for node in ast.walk(module.tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [n.name for n in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative import: resolve against this module's
+                    # position inside the package.
+                    base = module.rel_path.split("repro/")[-1]
+                    segments = base.split("/")[:-1]
+                    if node.level - 1 <= len(segments):
+                        prefix = segments[: len(segments) - (node.level - 1)]
+                        tail = node.module or ""
+                        dotted = ".".join(["repro", *prefix, tail]).rstrip(".")
+                        targets = [dotted]
+                elif node.module:
+                    targets = [node.module]
+            for target in targets:
+                if target != "repro" and not target.startswith("repro."):
+                    continue
+                rest = target.split(".")[1:]
+                target_layer = (
+                    rest[0] if rest and rest[0] in KNOWN_LAYERS else ""
+                )
+                if target_layer == "bench" and layer != "bench":
+                    if module.is_dunder_main:
+                        continue
+                    yield Violation(
+                        rule="layer",
+                        path=module.rel_path,
+                        line=node.lineno,
+                        message=(
+                            f"'{target}' imported from layer "
+                            f"'{layer or 'root'}': only __main__ entry "
+                            "points and tests may import bench"
+                        ),
+                    )
+                    continue
+                if allowed is not None and target_layer not in allowed:
+                    yield Violation(
+                        rule="layer",
+                        path=module.rel_path,
+                        line=node.lineno,
+                        message=(
+                            f"layer '{layer or 'root'}' must not import "
+                            f"'{target}' (allowed: "
+                            f"{', '.join(sorted(allowed - {layer}))}); "
+                            "the DAG is sql -> engine -> core -> bench"
+                        ),
+                    )

@@ -1,0 +1,159 @@
+"""Command-line driver: ``python -m repro.lint [targets...]``.
+
+Runs every registered checker over the target files/directories,
+subtracts the baseline and inline suppressions, prints the remaining
+violations, and exits non-zero if any are left.  Typical invocations::
+
+    PYTHONPATH=src python -m repro.lint src/repro
+    PYTHONPATH=src python -m repro.lint --select determinism src/repro
+    PYTHONPATH=src python -m repro.lint --write-baseline src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import registered_checkers
+from repro.analysis.runner import analyze_paths
+
+
+def _project_root(start: Path) -> Path:
+    """Nearest ancestor containing ``pyproject.toml`` (else cwd)."""
+    node = start.resolve()
+    for candidate in [node, *node.parents]:
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return Path.cwd()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CHECKER",
+        help="run only these checkers (repeatable)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: auto; 1 forces serial)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <project root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every violation, ignoring the baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current violations into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print registered checkers and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_checkers:
+        for name, cls in sorted(registered_checkers().items()):
+            print(f"{name}: {cls.description}")
+        return 0
+
+    targets: List[Path] = [Path(t) for t in args.targets]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for target in missing:
+            print(f"error: no such file or directory: {target}",
+                  file=sys.stderr)
+        return 2
+
+    project_root = _project_root(targets[0])
+    baseline_path = args.baseline or project_root / DEFAULT_BASELINE_NAME
+
+    try:
+        violations = analyze_paths(
+            targets,
+            project_root=project_root,
+            select=args.select,
+            jobs=args.jobs,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, violations)
+        print(
+            f"wrote {len(violations)} violation(s) to {baseline_path}"
+        )
+        return 0
+
+    if not args.no_baseline:
+        baseline = load_baseline(baseline_path)
+        baselined = len(violations)
+        violations = baseline.filter_new(violations)
+        baselined -= len(violations)
+    else:
+        baselined = 0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": v.rule,
+                        "path": v.path,
+                        "line": v.line,
+                        "message": v.message,
+                        "fingerprint": v.fingerprint,
+                    }
+                    for v in violations
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        summary = f"{len(violations)} violation(s)"
+        if baselined:
+            summary += f" ({baselined} baselined)"
+        print(summary)
+    return 1 if violations else 0

@@ -1,0 +1,122 @@
+"""File discovery and (optionally parallel) analysis execution.
+
+Analysis is embarrassingly parallel per file: every module is parsed
+and checked independently, so the runner fans files out to a process
+pool when the file count justifies the fork cost.  Workers re-import
+this module by qualified name, which requires ``repro`` to be
+importable in the child (the CLI is normally invoked with
+``PYTHONPATH=src``, which child processes inherit).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    Violation,
+    all_checkers,
+    analyze_module,
+    load_module,
+)
+
+#: Below this many files a pool costs more than it saves.
+_PARALLEL_THRESHOLD = 16
+
+
+def discover_files(targets: Sequence[Path]) -> List[Path]:
+    """Expand *targets* (files or directories) into sorted ``.py`` files."""
+    files: List[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(
+                p
+                for p in target.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif target.suffix == ".py":
+            files.append(target)
+    return sorted(set(files))
+
+
+def _analyze_one(
+    path_str: str,
+    project_root_str: Optional[str],
+    select: Optional[Tuple[str, ...]],
+) -> List[Violation]:
+    """Analyze a single file; module-level so it pickles for the pool."""
+    path = Path(path_str)
+    project_root = None if project_root_str is None else Path(project_root_str)
+    try:
+        module = load_module(path, project_root=project_root)
+    except SyntaxError as exc:
+        rel = path.as_posix()
+        if project_root is not None:
+            try:
+                rel = path.resolve().relative_to(
+                    project_root.resolve()
+                ).as_posix()
+            except ValueError:
+                pass
+        return [
+            Violation(
+                rule="parse",
+                path=rel,
+                line=exc.lineno or 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    checkers = all_checkers(select=select)
+    return analyze_module(module, checkers)
+
+
+def analyze_paths(
+    targets: Sequence[Path],
+    project_root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> List[Violation]:
+    """Analyze every ``.py`` file under *targets*.
+
+    ``jobs=None`` auto-selects: serial for small trees, a process pool
+    otherwise.  ``jobs=1`` forces serial; results are identical either
+    way (and sorted, so output order is deterministic).
+    """
+    files = discover_files(targets)
+    root_str = None if project_root is None else str(project_root)
+    select_tuple = None if select is None else tuple(select)
+    # Fail fast on unknown rule names before forking workers.
+    all_checkers(select=select_tuple)
+
+    if jobs is None:
+        jobs = (
+            min(8, os.cpu_count() or 1)
+            if len(files) >= _PARALLEL_THRESHOLD
+            else 1
+        )
+
+    violations: List[Violation] = []
+    if jobs <= 1 or len(files) <= 1:
+        for path in files:
+            violations.extend(_analyze_one(str(path), root_str, select_tuple))
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for result in pool.map(
+                    _analyze_one,
+                    [str(p) for p in files],
+                    [root_str] * len(files),
+                    [select_tuple] * len(files),
+                ):
+                    violations.extend(result)
+        except (OSError, RuntimeError):
+            # Sandboxes sometimes forbid fork/spawn; degrade to serial.
+            violations = []
+            for path in files:
+                violations.extend(
+                    _analyze_one(str(path), root_str, select_tuple)
+                )
+    violations.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
+    return violations

@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.core.advisor import AutoIndexAdvisor, TuningReport
 from repro.core.baselines import DefaultAdvisor, GreedyAdvisor, QueryLevelAdvisor

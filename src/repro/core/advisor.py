@@ -13,17 +13,17 @@ deciding when tuning is worthwhile.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.candidates import CandidateGenerator, CandidateIndex
+from repro.core.candidates import CandidateGenerator
 from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
 from repro.core.estimator import BenefitEstimator, DeepIndexEstimator
 from repro.core.mcts import MctsIndexSelector, SearchResult
 from repro.core.templates import QueryTemplate, TemplateStore
 from repro.engine.database import Database
 from repro.engine.index import IndexDef
+from repro.engine.metrics import Stopwatch
 from repro.sql import ast
 
 
@@ -263,7 +263,7 @@ class AutoIndexAdvisor:
         module reports enough index problems (the paper's monitored
         trigger).
         """
-        start = time.perf_counter()
+        timer = Stopwatch()
         calls_before = self.estimator.estimate_calls
         plans_before = self.estimator.plans_computed
         report = TuningReport()
@@ -272,7 +272,7 @@ class AutoIndexAdvisor:
             problems = self.diagnose()
             if not problems.should_tune(trigger_threshold):
                 report.skipped = True
-                report.elapsed_seconds = time.perf_counter() - start
+                report.elapsed_seconds = timer.elapsed()
                 self.tuning_history.append(report)
                 return report
 
@@ -312,7 +312,7 @@ class AutoIndexAdvisor:
         report.cache_hit_rate = result.cache_stats["cost"].hit_rate
         report.statements_analyzed = self.statements_analyzed
         report.search = result
-        report.elapsed_seconds = time.perf_counter() - start
+        report.elapsed_seconds = timer.elapsed()
         self.tuning_history.append(report)
         self.store.begin_tuning_window()
         return report

@@ -15,8 +15,6 @@
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.advisor import AutoIndexAdvisor, TuningReport
@@ -25,6 +23,7 @@ from repro.core.estimator import BenefitEstimator
 from repro.core.templates import QueryTemplate
 from repro.engine.database import Database
 from repro.engine.index import IndexDef
+from repro.engine.metrics import Stopwatch
 from repro.sql import ast
 
 
@@ -111,7 +110,7 @@ class GreedyAdvisor:
 
     def tune(self, force: bool = True) -> TuningReport:
         """One-shot greedy selection over all observed queries."""
-        start = time.perf_counter()
+        timer = Stopwatch()
         calls_before = self.estimator.estimate_calls
         workload = list(self._observed.values())
 
@@ -153,7 +152,7 @@ class GreedyAdvisor:
         report.templates_used = len(workload)
         report.estimator_calls = self.estimator.estimate_calls - calls_before
         report.statements_analyzed = self.statements_analyzed
-        report.elapsed_seconds = time.perf_counter() - start
+        report.elapsed_seconds = timer.elapsed()
         self.tuning_history.append(report)
         return report
 

@@ -91,6 +91,7 @@ class CandidateGenerator:
         merged = self._merge_prefixes(list(collected.values()))
         return self._drop_existing(merged)
 
+    # lint: exhaustive[Statement] fallthrough=Insert
     def for_statement(self, stmt: ast.Statement) -> List[IndexDef]:
         """Raw (unmerged) candidates for one statement."""
         result: List[IndexDef] = []

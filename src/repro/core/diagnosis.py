@@ -18,9 +18,9 @@ is issued.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
-from repro.core.candidates import CandidateGenerator, CandidateIndex
+from repro.core.candidates import CandidateGenerator
 from repro.core.templates import TemplateStore
 from repro.engine.database import Database
 from repro.engine.index import IndexDef

@@ -15,7 +15,7 @@ Three layers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -289,6 +289,7 @@ class BenefitEstimator:
             return cached
         features = self._features_for(template, key, relevant)
         self.estimate_calls += 1
+        # lint: ignore[cache-key] -- model swaps flush the cost tier (train/clear_cache)
         cost = float(self.model.predict(features.as_array()[None, :])[0])
         self._cache.put(key, cost)
         return cost
@@ -375,6 +376,7 @@ class BenefitEstimator:
         if not missing:
             return
         matrix = np.stack([m[3].as_array() for m in missing])
+        # lint: ignore[cache-key] -- model swaps flush the cost tier (train/clear_cache)
         predicted = self.model.predict(matrix)
         self.estimate_calls += len(missing)
         for (i, key, weight, _features), cost in zip(missing, predicted):

@@ -391,7 +391,9 @@ class MctsIndexSelector:
                 if size + extra > self._budget:
                     continue
             actions.append(Action(kind="add", index=candidate))
-        for key in config:
+        # sorted(): frozenset iteration order follows PYTHONHASHSEED,
+        # and action order is a tie-break in child selection.
+        for key in sorted(config):
             if key in self._protected:
                 continue
             actions.append(Action(kind="remove", index=self._universe[key]))
@@ -458,7 +460,9 @@ class MctsIndexSelector:
             current.add(candidate.key)
             steps += 1
         # Occasionally try dropping one removable index during rollout.
-        removable = [k for k in current if k not in self._protected]
+        # sorted(): rng.choice picks by position, so the candidate
+        # order must not depend on set hashing.
+        removable = sorted(k for k in current if k not in self._protected)
         if removable and self.rng.random() < 0.3:
             current.discard(self.rng.choice(removable))
         return self._config_benefit(frozenset(current), ref)
@@ -540,7 +544,9 @@ class MctsIndexSelector:
             return config
         current = set(config)
         while self._config_size(frozenset(current)) > self._budget:
-            removable = [k for k in current if k not in self._protected]
+            removable = sorted(
+                k for k in current if k not in self._protected
+            )
             if not removable:
                 return frozenset(current)  # nothing else can give
             frozen = frozenset(current)
@@ -642,6 +648,7 @@ class MctsIndexSelector:
     def _config_size(self, config: FrozenSet[IndexKey]) -> int:
         """Total bytes of the non-protected indexes in a config."""
         total = 0
+        # lint: ignore[unordered-iteration] -- order-free integer sum
         for key in config:
             if key in self._protected:
                 continue

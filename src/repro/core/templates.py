@@ -14,7 +14,7 @@ Section IV-A step 1 and Section IV-C of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.sql import ast, parse

@@ -13,7 +13,7 @@ Two distinct cost surfaces live here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 PAGE_SIZE = 8192
 """Bytes per heap/index page."""

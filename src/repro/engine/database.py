@@ -30,7 +30,7 @@ from repro.engine.plan import (
     UpdatePlan,
     indexes_used,
 )
-from repro.engine.planner import Planner, PlanningError
+from repro.engine.planner import Planner
 from repro.engine.schema import TableSchema
 from repro.engine.stats import analyze_table
 from repro.sql import ast, parse

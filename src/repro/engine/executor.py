@@ -22,7 +22,6 @@ from repro.engine import plan as pl
 from repro.engine.btree import _NEG_INF, _POS_INF, encode_bound
 from repro.engine.catalog import Catalog
 from repro.engine.cost import (
-    NULL_TRACKER,
     CostParams,
     CostTracker,
     index_running_cost,
@@ -475,6 +474,9 @@ def _bind_row(
     return {("col", binding, name): value for name, value in zip(names, row)}
 
 
+# Subqueries are inlined before execution and projection expands Star
+# during planning, so neither can reach the evaluator:
+# lint: exhaustive[Expr] fallthrough=ScalarSubquery,InSubquery,Star
 def eval_expr(
     expr: ast.Expr, row: RowDict, outer: Optional[RowDict] = None
 ) -> object:
@@ -629,7 +631,10 @@ def _aggregate(agg: ast.FuncCall, rows: List[RowDict]) -> object:
     values = [eval_expr(agg.args[0], r) for r in rows]
     values = [v for v in values if v is not None]
     if agg.distinct:
-        values = list(set(values))
+        # First-occurrence dedup, not list(set(...)): float summation
+        # order must not depend on PYTHONHASHSEED, and mixed-type
+        # columns need not be sortable.
+        values = list(dict.fromkeys(values))
     if not values:
         return None
     if name == "sum":

@@ -35,7 +35,6 @@ from repro.engine.stats import TableStats
 from repro.sql import ast
 from repro.sql.predicates import (
     FilterPredicate,
-    JoinPredicate,
     classify_atom,
     conjuncts_of,
     referenced_columns,
@@ -282,6 +281,7 @@ class Planner:
             names.append(_output_name(item, i))
         return tuple(names)
 
+    # lint: exhaustive[Expr] fallthrough=Literal,Placeholder,Star
     def _qualify(self, expr: ast.Expr, scope: _Scope) -> ast.Expr:
         if isinstance(expr, ast.ColumnRef):
             return scope.resolve(expr)
@@ -377,7 +377,6 @@ class Planner:
     def _needed_columns(self, items, where, group_by, having, order_by):
         """All (binding, column) pairs the query touches, per binding."""
         needed: Dict[str, Set[str]] = {}
-        star_all = False
         nodes: List[ast.Node] = [i.expr for i in items]
         nodes.extend(group_by)
         nodes.extend(o.expr for o in order_by)
@@ -834,7 +833,7 @@ class Planner:
         for binding, rel in remaining.items():
             usable = []
             for pred in pending:
-                left, right, conj = pred
+                left, right, _conj = pred
                 sides = {left.table, right.table}
                 if binding in sides and (sides - {binding}) <= joined:
                     usable.append(pred)
@@ -978,6 +977,52 @@ class Planner:
                 seen[key] = item
         return list(seen.values())
 
+    @staticmethod
+    def _merged_range_selectivity(
+        atoms: Sequence[ast.Expr], stats: TableStats
+    ) -> Tuple[float, List[ast.Expr]]:
+        """Estimate multi-bound range conjuncts as single intervals.
+
+        Under the independence assumption ``b > 9 AND b < 10``
+        multiplies two loose one-sided selectivities, grossly
+        overestimating narrow (or empty) ranges. Bounds on the same
+        column are intersected instead and estimated with one
+        ``range_selectivity`` call. Returns the merged selectivity
+        product plus the atoms left for the per-atom path — columns
+        with fewer than two usable bounds, unknown values
+        (placeholders), and non-comparable bound types all fall back.
+        """
+        bounds: Dict[str, List[Tuple[str, Tuple[object, ...]]]] = {}
+        atoms_by_column: Dict[str, List[ast.Expr]] = {}
+        for atom in atoms:
+            kind, payload = classify_atom(atom)
+            if kind != "filter":
+                continue
+            fp: FilterPredicate = payload  # type: ignore[assignment]
+            if fp.op not in ("<", "<=", ">", ">=", "between"):
+                continue
+            if not fp.values or any(v is None for v in fp.values):
+                continue
+            bounds.setdefault(fp.column.column, []).append(
+                (fp.op, fp.values)
+            )
+            atoms_by_column.setdefault(fp.column.column, []).append(atom)
+        sel = 1.0
+        merged_atoms: set = set()
+        for column, entries in bounds.items():
+            if len(entries) < 2:
+                continue
+            interval = _intersect_bounds(entries)
+            if interval is None:
+                continue
+            low, high, low_inc, high_inc = interval
+            sel *= stats.column(column).range_selectivity(
+                low, high, low_inc, high_inc
+            )
+            merged_atoms.update(id(a) for a in atoms_by_column[column])
+        rest = [a for a in atoms if id(a) not in merged_atoms]
+        return sel, rest
+
     def estimate_selectivity(
         self,
         predicate: Optional[ast.Expr],
@@ -991,8 +1036,9 @@ class Planner:
             # must not square the selectivity. Atoms are deduped on a
             # canonical key (IN-lists by value *set*, one-element
             # IN ≡ equality), not raw node equality.
-            sel = 1.0
-            for item in self._unique_atoms(predicate.items):
+            atoms = self._unique_atoms(predicate.items)
+            sel, rest = self._merged_range_selectivity(atoms, stats)
+            for item in rest:
                 sel *= self.estimate_selectivity(item, stats, binding)
             return sel
         if isinstance(predicate, ast.Or):
@@ -1173,6 +1219,55 @@ def _output_name(item: ast.SelectItem, position: int) -> str:
     return f"c{position}"
 
 
+def _intersect_bounds(
+    entries: Sequence[Tuple[str, Tuple[object, ...]]],
+) -> Optional[Tuple[object, object, bool, bool]]:
+    """Intersect ``(op, values)`` range bounds into one interval.
+
+    Returns ``(low, high, low_inclusive, high_inclusive)`` with open
+    ends as ``None``, or ``None`` when any pair of bounds is not
+    mutually comparable (mixed types) — callers then fall back to
+    independent per-atom estimation. An exclusive bound wins over an
+    inclusive one at the same value (the tighter constraint).
+    """
+    low: object = None
+    high: object = None
+    low_inc = True
+    high_inc = True
+
+    def tighter_low(value: object, inclusive: bool) -> None:
+        nonlocal low, low_inc
+        if low is None or value > low:  # type: ignore[operator]
+            low, low_inc = value, inclusive
+        elif value == low:
+            low_inc = low_inc and inclusive
+
+    def tighter_high(value: object, inclusive: bool) -> None:
+        nonlocal high, high_inc
+        if high is None or value < high:  # type: ignore[operator]
+            high, high_inc = value, inclusive
+        elif value == high:
+            high_inc = high_inc and inclusive
+
+    try:
+        for op, values in entries:
+            if op == "<":
+                tighter_high(values[0], False)
+            elif op == "<=":
+                tighter_high(values[0], True)
+            elif op == ">":
+                tighter_low(values[0], False)
+            elif op == ">=":
+                tighter_low(values[0], True)
+            elif op == "between":
+                tighter_low(values[0], True)
+                tighter_high(values[1], True)
+    except TypeError:
+        return None
+    return low, high, low_inc, high_inc
+
+
+# lint: ignore[ast-exhaustive] -- validator, not a dispatcher: rejects all non-constants by design
 def _require_literal(expr: ast.Expr) -> object:
     if isinstance(expr, ast.Literal):
         return expr.value

@@ -1,0 +1,14 @@
+"""``python -m repro.lint`` — run the invariant linter.
+
+Thin wrapper so the CLI has a short, memorable module path; all logic
+lives in :mod:`repro.analysis.cli`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

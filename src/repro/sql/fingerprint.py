@@ -122,6 +122,7 @@ class _Parameterizer:
             )
         return node
 
+    # lint: exhaustive[Statement]
     def statement(self, node: ast.Statement) -> ast.Statement:
         if isinstance(node, ast.Select):
             return self.select(node)

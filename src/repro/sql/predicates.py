@@ -49,6 +49,9 @@ _COMPARISON_NEGATION = {
 }
 
 
+# Atoms listed in fallthrough= keep an explicit NOT wrapper (or, for
+# pure value expressions, can never appear as boolean atoms):
+# lint: exhaustive[Expr] fallthrough=Literal,Placeholder,ColumnRef,Star,Between,InList,Like,Arith,FuncCall,ScalarSubquery,InSubquery
 def _negate(expr: ast.Expr) -> ast.Expr:
     """Return the negation of an NNF expression, staying in NNF."""
     if isinstance(expr, ast.Not):

@@ -27,7 +27,7 @@ from repro.engine.database import Database
 from repro.engine.index import IndexDef
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import TableSchema, table
-from repro.workloads.base import Query, WorkloadGenerator, weighted_choice
+from repro.workloads.base import Query, WorkloadGenerator
 
 NUM_PRODUCT_TABLES = 120
 NUM_SUMMARY_TABLES = 19

@@ -9,8 +9,8 @@ rounds at phase boundaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
 
 from repro.workloads.base import Query, WorkloadGenerator
 

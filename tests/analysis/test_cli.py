@@ -1,0 +1,90 @@
+"""End-to-end CLI tests: ``python -m repro.lint`` as CI runs it."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_lint(args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_own_tree_is_clean():
+    """The shipped tree must lint clean — the CI gate."""
+    result = _run_lint([str(REPO_ROOT / "src" / "repro")])
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_violating_tree_exits_nonzero(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import random\n\ndef f(x):\n    return random.choice(x)\n"
+    )
+    result = _run_lint([str(tmp_path / "src")])
+    assert result.returncode == 1
+    assert "unseeded-random" in result.stdout
+
+
+def test_write_baseline_then_clean(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import random\n\ndef f(x):\n    return random.choice(x)\n"
+    )
+    accepted = _run_lint(["--write-baseline", str(tmp_path / "src")])
+    assert accepted.returncode == 0
+    # Baselined violations no longer fail the run...
+    result = _run_lint([str(tmp_path / "src")])
+    assert result.returncode == 0
+    assert "baselined" in result.stdout
+    # ...but --no-baseline still reports them.
+    strict = _run_lint(["--no-baseline", str(tmp_path / "src")])
+    assert strict.returncode == 1
+
+
+def test_json_format(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import random\n\ndef f(x):\n    return random.choice(x)\n"
+    )
+    result = _run_lint(["--format", "json", str(tmp_path / "src")])
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload and payload[0]["rule"] == "unseeded-random"
+    assert payload[0]["fingerprint"]
+
+
+def test_list_checkers_names_all_five():
+    result = _run_lint(["--list-checkers"])
+    assert result.returncode == 0
+    for name in (
+        "determinism",
+        "cache-key",
+        "frozen-mutation",
+        "layer",
+        "ast-exhaustive",
+    ):
+        assert name in result.stdout
+
+
+def test_missing_target_exits_two(tmp_path):
+    result = _run_lint([str(tmp_path / "no-such-dir")])
+    assert result.returncode == 2

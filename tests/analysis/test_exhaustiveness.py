@@ -1,0 +1,148 @@
+"""Exhaustiveness checker tests against a miniature on-disk package.
+
+The checker reads the node universe from ``<package root>/sql/ast.py``,
+so these fixtures build a real (tmp) tree instead of using in-memory
+snippets."""
+
+import textwrap
+
+from repro.analysis import analyze_paths
+
+_AST_SRC = """
+from dataclasses import dataclass
+
+
+class Node:
+    pass
+
+
+class Expr(Node):
+    pass
+
+
+@dataclass
+class A(Expr):
+    pass
+
+
+@dataclass
+class B(Expr):
+    pass
+
+
+@dataclass
+class C(Expr):
+    pass
+"""
+
+
+def _make_tree(tmp_path, dispatcher_src):
+    root = tmp_path / "src" / "repro"
+    (root / "sql").mkdir(parents=True)
+    (root / "engine").mkdir()
+    (root / "sql" / "ast.py").write_text(textwrap.dedent(_AST_SRC))
+    (root / "engine" / "dispatch.py").write_text(
+        textwrap.dedent(dispatcher_src)
+    )
+    return root
+
+
+def _exhaustive_violations(tmp_path, dispatcher_src):
+    root = _make_tree(tmp_path, dispatcher_src)
+    found = analyze_paths(
+        [root / "engine" / "dispatch.py"], project_root=tmp_path
+    )
+    return [v for v in found if v.rule == "ast-exhaustive"]
+
+
+def test_auto_closed_dispatcher_missing_class(tmp_path):
+    found = _exhaustive_violations(
+        tmp_path,
+        """
+        from repro.sql import ast
+
+        def eval_node(node):
+            if isinstance(node, ast.A):
+                return 1
+            if isinstance(node, ast.B):
+                return 2
+            raise TypeError(node)
+        """,
+    )
+    assert len(found) == 1
+    assert "C" in found[0].message
+
+
+def test_auto_closed_dispatcher_complete(tmp_path):
+    found = _exhaustive_violations(
+        tmp_path,
+        """
+        from repro.sql import ast
+
+        def eval_node(node):
+            if isinstance(node, ast.A):
+                return 1
+            if isinstance(node, ast.B):
+                return 2
+            if isinstance(node, ast.C):
+                return 3
+            raise TypeError(node)
+        """,
+    )
+    assert not found
+
+
+def test_marker_fallthrough_closes_the_gap(tmp_path):
+    found = _exhaustive_violations(
+        tmp_path,
+        """
+        from repro.sql import ast
+
+        # lint: exhaustive[Expr] fallthrough=C
+        def eval_node(node):
+            if isinstance(node, ast.A):
+                return 1
+            if isinstance(node, ast.B):
+                return 2
+            raise TypeError(node)
+        """,
+    )
+    assert not found
+
+
+def test_marker_stale_fallthrough_flagged(tmp_path):
+    found = _exhaustive_violations(
+        tmp_path,
+        """
+        from repro.sql import ast
+
+        # lint: exhaustive[Expr] fallthrough=C,Zzz
+        def eval_node(node):
+            if isinstance(node, ast.A):
+                return 1
+            if isinstance(node, ast.B):
+                return 2
+            raise TypeError(node)
+        """,
+    )
+    assert len(found) == 1
+    assert "Zzz" in found[0].message
+
+
+def test_open_dispatcher_without_marker_ignored(tmp_path):
+    # No final raise and no marker: not a closed dispatcher, so an
+    # incomplete ladder is allowed.
+    found = _exhaustive_violations(
+        tmp_path,
+        """
+        from repro.sql import ast
+
+        def maybe(node):
+            if isinstance(node, ast.A):
+                return 1
+            if isinstance(node, ast.B):
+                return 2
+            return None
+        """,
+    )
+    assert not found

@@ -1,0 +1,105 @@
+"""Framework behavior: suppressions, baseline, fingerprints, parallel
+runs, and checker selection."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_snippet
+from repro.analysis.baseline import load_baseline, write_baseline
+
+_BAD = """
+import random
+
+def pick(items):
+    return random.choice(items)
+"""
+
+
+def _snippet(source, path="src/repro/core/mod.py"):
+    return analyze_snippet(textwrap.dedent(source), path)
+
+
+def test_inline_suppression_with_reason():
+    suppressed = """
+    import random
+
+    def pick(items):
+        # lint: ignore[unseeded-random] -- test fixture needs raw draws
+        return random.choice(items)
+    """
+    assert not [
+        v for v in _snippet(suppressed) if v.rule == "unseeded-random"
+    ]
+
+
+def test_suppression_without_reason_is_itself_a_violation():
+    reasonless = """
+    import random
+
+    def pick(items):
+        # lint: ignore[unseeded-random]
+        return random.choice(items)
+    """
+    found = _snippet(reasonless)
+    assert [v for v in found if v.rule == "suppression"]
+
+
+def test_suppression_only_covers_adjacent_line():
+    far_away = """
+    # lint: ignore[unseeded-random] -- too far from the call to apply
+    import random
+
+
+    def pick(items):
+        return random.choice(items)
+    """
+    assert [v for v in _snippet(far_away) if v.rule == "unseeded-random"]
+
+
+def test_fingerprint_stable_across_line_shifts():
+    shifted = "\n\n\n" + textwrap.dedent(_BAD)
+    original = {v.fingerprint for v in _snippet(_BAD)}
+    moved = {v.fingerprint for v in _snippet(shifted)}
+    assert original == moved
+
+
+def test_baseline_round_trip(tmp_path):
+    violations = _snippet(_BAD)
+    assert violations
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, violations)
+    baseline = load_baseline(baseline_path)
+    assert baseline.filter_new(violations) == []
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "nope.json")
+    assert baseline.filter_new(_snippet(_BAD))
+
+
+def test_unknown_checker_name_rejected(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    with pytest.raises(KeyError):
+        analyze_paths([target], select=["no-such-checker"])
+
+
+def test_parallel_and_serial_agree(tmp_path):
+    # Enough files to cross the process-pool threshold.
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    for i in range(20):
+        body = "import random\n\ndef f(x):\n    return random.choice(x)\n"
+        (pkg / f"mod_{i:02d}.py").write_text(body)
+    serial = analyze_paths([pkg], project_root=tmp_path, jobs=1)
+    parallel = analyze_paths([pkg], project_root=tmp_path, jobs=2)
+    assert serial == parallel
+    assert len(serial) == 20
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n")
+    found = analyze_paths([target], project_root=tmp_path)
+    assert [v for v in found if v.rule == "parse"]
