@@ -1,0 +1,197 @@
+"""Chaos-mode benchmark: the tuning runtime under injected faults.
+
+``python -m repro.bench --faults`` drives the full advisor loop on
+TPC-C while a seeded :class:`~repro.engine.faults.FaultPlan` fails a
+fraction of estimator predictions and index builds, and checks the
+resilience invariants end to end:
+
+* **liveness** — every tuning round completes without an unhandled
+  exception (a degraded, skipped round is fine; a crash is not);
+* **atomicity** — after every round the catalog equals exactly what
+  the round's report claims (``before − dropped ∪ created``): a
+  mid-apply failure must roll back completely, never leave a partial
+  configuration;
+* **replayability** — the same seed reproduces the chaos run
+  bit-identically (identical recommendations, costs, and counters);
+* **fault-free determinism** — with injection disabled the run is
+  bit-identical across repeats: the resilience machinery adds no
+  nondeterminism to the production path.
+
+The run prints per-round resilience counters (retries, fallbacks,
+rollbacks, deadline hits) and per-point fault statistics, then a
+PASS/FAIL verdict over the invariants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import prepare_database
+from repro.core.advisor import AutoIndexAdvisor
+from repro.engine.faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    TRANSIENT,
+)
+from repro.workloads.tpcc import TpccWorkload
+
+#: The acceptance scenario: fail model predictions and index builds.
+DEFAULT_POINTS = ("estimator.predict", "index.build")
+
+
+def _run_loop(
+    seed: int,
+    rounds: int,
+    queries_per_round: int,
+    injector: Optional[FaultInjector],
+    mcts_iterations: int = 30,
+) -> Dict:
+    """One full observe→execute→tune loop; returns a comparable summary.
+
+    Everything in the returned structure is a pure function of the
+    inputs (query seeds, plan seed), so two calls with equal arguments
+    must produce equal summaries — that equality *is* the determinism
+    check.
+    """
+    generator = TpccWorkload(scale=1, seed=seed)
+    db = prepare_database(generator, faults=injector)
+    advisor = AutoIndexAdvisor(
+        db, mcts_iterations=mcts_iterations, seed=seed
+    )
+    summaries: List[Dict] = []
+    for round_no in range(rounds):
+        client_errors = 0
+        for query in generator.queries(
+            queries_per_round, seed=seed + 100 + round_no
+        ):
+            try:
+                db.execute(query.sql)
+            except FaultError:
+                # A client-visible statement failure; the workload
+                # moves on — what must survive is the tuner.
+                client_errors += 1
+                continue
+            advisor.observe(query.sql)
+        before = {d.key for d in db.index_defs()}
+        report = advisor.tune()
+        after = {d.key for d in db.index_defs()}
+        expected = (before - {d.key for d in report.dropped}) | {
+            d.key for d in report.created
+        }
+        summaries.append(
+            {
+                "round": round_no,
+                "created": sorted(str(d) for d in report.created),
+                "dropped": sorted(str(d) for d in report.dropped),
+                "estimated_benefit": report.estimated_benefit,
+                "retries": report.retries,
+                "fallbacks": report.fallbacks,
+                "rolled_back": report.rolled_back,
+                "deadline_hit": report.deadline_hit,
+                "degraded": report.degraded,
+                "skipped": report.skipped,
+                "client_errors": client_errors,
+                "atomic": after == expected,
+            }
+        )
+    return {
+        "rounds": summaries,
+        "final_indexes": sorted(
+            str(d) for d in db.index_defs()
+        ),
+        "observe_failures": advisor.observe_failures,
+        "fault_stats": injector.stats() if injector else {},
+    }
+
+
+def run_chaos(
+    seed: int = 11,
+    rate: float = 0.2,
+    rounds: int = 4,
+    queries_per_round: int = 300,
+    points: Sequence[str] = DEFAULT_POINTS,
+    kind: str = TRANSIENT,
+    out_path: Optional[str] = None,
+) -> Dict:
+    """Run the chaos scenario plus its control runs; verify invariants."""
+
+    def injector() -> FaultInjector:
+        return FaultPlan.chaos(
+            seed=seed, rate=rate, points=points, kind=kind
+        ).injector()
+
+    chaos = _run_loop(seed, rounds, queries_per_round, injector())
+    replay = _run_loop(seed, rounds, queries_per_round, injector())
+    clean_a = _run_loop(seed, rounds, queries_per_round, None)
+    clean_b = _run_loop(seed, rounds, queries_per_round, None)
+
+    all_atomic = all(
+        r["atomic"] for r in chaos["rounds"] + clean_a["rounds"]
+    )
+    report = {
+        "seed": seed,
+        "rate": rate,
+        "kind": kind,
+        "points": list(points),
+        "rounds": rounds,
+        "queries_per_round": queries_per_round,
+        "chaos": chaos,
+        "clean": clean_a,
+        "all_rounds_atomic": all_atomic,
+        "replay_identical": chaos == replay,
+        "faults_off_identical": clean_a == clean_b,
+    }
+    report["ok"] = (
+        all_atomic
+        and report["replay_identical"]
+        and report["faults_off_identical"]
+    )
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+    return report
+
+
+def render_chaos(report: Dict) -> List[str]:
+    """Human-readable lines for the chaos report."""
+    lines = [
+        f"seed={report['seed']} rate={report['rate']} "
+        f"kind={report['kind']} points={','.join(report['points'])}"
+    ]
+    for row in report["chaos"]["rounds"]:
+        changes = (
+            f"+{len(row['created'])}/-{len(row['dropped'])} indexes"
+        )
+        flags = []
+        if row["retries"]:
+            flags.append(f"{row['retries']} retries")
+        if row["fallbacks"]:
+            flags.append(f"{row['fallbacks']} fallbacks")
+        if row["rolled_back"]:
+            flags.append(f"{row['rolled_back']} rolled back")
+        if row["deadline_hit"]:
+            flags.append("deadline")
+        if row["skipped"]:
+            flags.append("skipped")
+        if row["client_errors"]:
+            flags.append(f"{row['client_errors']} client errors")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        atomic = "ok" if row["atomic"] else "PARTIAL APPLY"
+        lines.append(
+            f"round {row['round']}: {changes}, catalog {atomic}{suffix}"
+        )
+    for point, stats in report["chaos"]["fault_stats"].items():
+        lines.append(
+            f"fault {point}: {stats['fired']}/{stats['visits']} "
+            "fired/visits"
+        )
+    lines.append(
+        "invariants: "
+        f"atomic={report['all_rounds_atomic']} "
+        f"replay_identical={report['replay_identical']} "
+        f"faults_off_identical={report['faults_off_identical']}"
+    )
+    lines.append("PASS" if report["ok"] else "FAIL")
+    return lines

@@ -142,6 +142,22 @@ def run_perf(
     return 0
 
 
+def run_faults(
+    seed: int, rate: float, rounds: int, kind: str, out: str
+) -> int:
+    """Dispatch the chaos benchmark (``--faults``)."""
+    from repro.bench.chaos import render_chaos, run_chaos
+
+    print("=== chaos: tuning under injected faults ===")
+    report = run_chaos(
+        seed=seed, rate=rate, rounds=rounds, kind=kind, out_path=out
+    )
+    for line in render_chaos(report):
+        print("  " + line)
+    print(f"  written to {out}")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -151,6 +167,24 @@ def main(argv: List[str] | None = None) -> int:
         "--perf",
         choices=["mcts"],
         help="run a performance benchmark instead of an experiment",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the chaos benchmark (tuning under injected faults)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11,
+        help="fault-plan seed for --faults (default 11)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.2,
+        help="per-visit fault probability for --faults (default 0.2)",
+    )
+    parser.add_argument(
+        "--fault-kind", choices=["transient", "permanent"],
+        default="transient",
+        help="fault type injected by --faults (default transient)",
     )
     parser.add_argument(
         "--iterations", type=int, default=200,
@@ -173,6 +207,17 @@ def main(argv: List[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.faults:
+        if not 0.0 <= args.rate <= 1.0:
+            parser.error("--rate must be within [0, 1]")
+        if args.rounds < 1:
+            parser.error("--rounds must be >= 1")
+        out = args.out
+        if out == "BENCH_mcts.json":  # the --perf default
+            out = "BENCH_chaos.json"
+        return run_faults(
+            args.seed, args.rate, args.rounds, args.fault_kind, out
+        )
     if args.perf:
         if args.iterations < 1:
             parser.error("--iterations must be >= 1")
@@ -180,7 +225,9 @@ def main(argv: List[str] | None = None) -> int:
             parser.error("--rounds must be >= 1")
         return run_perf(args.perf, args.iterations, args.rounds, args.out)
     if args.command is None:
-        parser.error("a command is required unless --perf is given")
+        parser.error(
+            "a command is required unless --perf/--faults is given"
+        )
     if args.command == "list":
         list_experiments()
         return 0

@@ -35,11 +35,21 @@ class AdvisorKind(enum.Enum):
 
 
 def prepare_database(
-    generator: WorkloadGenerator, with_defaults: bool = True
+    generator: WorkloadGenerator,
+    with_defaults: bool = True,
+    faults=None,
 ) -> Database:
-    """Fresh database with the generator's schema, data, and defaults."""
+    """Fresh database with the generator's schema, data, and defaults.
+
+    ``faults`` (a :class:`repro.engine.faults.FaultInjector`) is
+    attached *after* the build so schema setup and data loading are
+    never chaos-tested — faults target the tuning runtime.
+    """
     db = Database()
     generator.build(db, with_defaults=with_defaults)
+    if faults is not None:
+        db.faults = faults
+        db.planner.faults = faults
     return db
 
 

@@ -9,22 +9,39 @@ with the index-benefit estimator (static what-if model until enough
 history is recorded, then the trained one-layer deep regression)
 supplying every cost evaluated inside MCTS, and the diagnosis module
 deciding when tuning is worthwhile.
+
+The runtime is resilient by construction: DDL goes through a
+transactional :class:`~repro.core.changeset.IndexChangeSet` (full
+rollback on mid-apply failure), freshly-applied indexes sit in a
+post-apply observation window and are auto-reverted if they regress,
+an unusable estimator degrades the round to a skipped report instead
+of an exception, and checkpoints are crash-safe (atomic writes,
+previous-generation fallback on load).
 """
 
 from __future__ import annotations
 
+import io
+import json
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.core import checkpoint
 from repro.core.candidates import CandidateGenerator
+from repro.core.changeset import IndexChangeSet
 from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
-from repro.core.estimator import BenefitEstimator, DeepIndexEstimator
+from repro.core.estimator import (
+    BenefitEstimator,
+    DeepIndexEstimator,
+    EstimatorUnavailable,
+)
 from repro.core.mcts import MctsIndexSelector, SearchResult
 from repro.core.templates import QueryTemplate, TemplateStore
 from repro.engine.database import Database
+from repro.engine.faults import FaultError
 from repro.engine.index import IndexDef
 from repro.engine.metrics import Stopwatch
-from repro.sql import ast
+from repro.sql.lexer import SqlSyntaxError
 
 
 @dataclass
@@ -44,6 +61,15 @@ class TuningReport:
     elapsed_seconds: float = 0.0
     search: Optional[SearchResult] = None
     skipped: bool = False
+    # Resilience counters for the round: estimator predict retries,
+    # model→what-if fallbacks, index changes undone (changeset
+    # rollback + observation-window auto-reverts), and whether the
+    # MCTS deadline cut the search short.
+    retries: int = 0
+    fallbacks: int = 0
+    rolled_back: int = 0
+    deadline_hit: bool = False
+    degraded: Optional[str] = None
 
     @property
     def changed(self) -> bool:
@@ -52,6 +78,8 @@ class TuningReport:
     def render(self) -> str:
         """Human-readable one-round summary (for logs and examples)."""
         if self.skipped:
+            if self.degraded:
+                return f"tuning skipped (degraded: {self.degraded})"
             return "tuning skipped (no index problems detected)"
         lines = []
         if self.created:
@@ -78,6 +106,19 @@ class TuningReport:
             f"{100 * self.cache_hit_rate:.0f}% cost-cache hits) "
             f"in {self.elapsed_seconds:.2f}s"
         )
+        resilience = []
+        if self.retries:
+            resilience.append(f"{self.retries} retries")
+        if self.fallbacks:
+            resilience.append(f"{self.fallbacks} estimator fallbacks")
+        if self.rolled_back:
+            resilience.append(f"{self.rolled_back} changes rolled back")
+        if self.deadline_hit:
+            resilience.append("search deadline hit")
+        if resilience:
+            lines.append("resilience: " + ", ".join(resilience))
+        if self.degraded:
+            lines.append(f"degraded: {self.degraded}")
         return "\n".join(lines)
 
 
@@ -94,7 +135,9 @@ class AutoIndexAdvisor:
 
     Parameters mirror the paper's knobs: template capacity, the
     candidate selectivity threshold, the MCTS exploration constant
-    gamma, and the storage budget.
+    gamma, and the storage budget. ``mcts_deadline_seconds`` /
+    ``mcts_max_evaluations`` bound the search (anytime: best-so-far
+    is returned when the deadline hits).
     """
 
     def __init__(
@@ -111,6 +154,8 @@ class AutoIndexAdvisor:
         train_sample_rate: float = 0.05,
         seed: int = 17,
         delta_costing: bool = True,
+        mcts_deadline_seconds: Optional[float] = None,
+        mcts_max_evaluations: Optional[int] = None,
     ):
         self.db = db
         self.storage_budget = storage_budget
@@ -129,9 +174,12 @@ class AutoIndexAdvisor:
             rollouts=rollouts,
             seed=seed,
             delta_costing=delta_costing,
+            deadline_seconds=mcts_deadline_seconds,
+            max_evaluations=mcts_max_evaluations,
         )
         self.diagnosis = IndexDiagnosis(db, self.store, self.generator)
         self.statements_analyzed = 0
+        self.observe_failures = 0
         self._observed_since_training = 0
         self.tuning_history: List[TuningReport] = []
 
@@ -139,15 +187,24 @@ class AutoIndexAdvisor:
     # observation
     # ------------------------------------------------------------------
 
-    def observe(self, sql: str) -> QueryTemplate:
+    def observe(self, sql: str) -> Optional[QueryTemplate]:
         """Feed one executed query into SQL2Template.
 
         With ``use_templates=False`` (the Figure 8 query-level
         ablation) every distinct statement text is analysed
         individually — no workload compression.
+
+        A statement that cannot be parsed (syntax error, or an
+        injected parser fault) is dropped and counted in
+        ``observe_failures`` — observation is on the hot path of the
+        serving workload and must never take it down.
         """
-        if self.use_templates:
+        try:
             statement = self.db.parse_statement(sql)
+        except (SqlSyntaxError, FaultError):
+            self.observe_failures += 1
+            return None
+        if self.use_templates:
             template = self.store.observe(sql, statement)
             if template.frequency <= 1.0:
                 # Only brand-new templates cost analysis work.
@@ -155,22 +212,10 @@ class AutoIndexAdvisor:
             if self.store.drift_detected():
                 self.store.handle_drift()
             return template
+        # Query-level ablation: no compression, every statement is
+        # analysed individually (raw SQL text is the store key).
         self.statements_analyzed += 1
-        statement = self.db.parse_statement(sql)
-        template = QueryTemplate(
-            fingerprint=sql,
-            statement=statement,
-            frequency=1.0,
-            sample_sql=sql,
-            is_write=ast.is_write(statement),
-        )
-        existing = self.store.get(sql)
-        if existing is None:
-            self.store._templates[sql] = template  # raw-text store
-            existing = template
-        existing.frequency += 1.0
-        existing.window_frequency += 1.0
-        return existing
+        return self.store.observe_raw(sql, statement)
 
     def observe_queries(self, queries: Sequence) -> None:
         """Observe a batch (items may be Query objects or SQL strings)."""
@@ -201,42 +246,74 @@ class AutoIndexAdvisor:
     # persistence
     # ------------------------------------------------------------------
 
-    def save_state(self, directory) -> None:
+    def save_state(self, directory) -> dict:
         """Persist advisor state (templates + trained estimator).
+
+        Crash-safe: every component is written atomically (temp file
+        + fsync + rename), the previous generation is retained under
+        ``.prev``, and a checksummed manifest lands last — see
+        :mod:`repro.core.checkpoint`. A crash at any point leaves a
+        checkpoint :meth:`load_state` can restore. Returns the
+        manifest written.
 
         The policy tree itself is rebuilt cheaply from the saved
         templates on the next tuning round; what must survive a
         restart is the workload knowledge and the learned weights.
         """
-        import json
-        import pathlib
-
-        path = pathlib.Path(directory)
-        path.mkdir(parents=True, exist_ok=True)
-        (path / "templates.json").write_text(
-            json.dumps(self.store.to_dict())
-        )
+        components = {
+            "templates.json": json.dumps(self.store.to_dict()).encode(
+                "utf-8"
+            )
+        }
         if isinstance(self.estimator.model, DeepIndexEstimator) and (
             self.estimator.model.trained
         ):
-            self.estimator.model.save(path / "estimator.npz")
+            buffer = io.BytesIO()
+            self.estimator.model.save(buffer)
+            components["estimator.npz"] = buffer.getvalue()
+        return checkpoint.write_checkpoint(
+            directory, components, faults=self.db.faults
+        )
 
-    def load_state(self, directory) -> None:
-        """Restore state saved with :meth:`save_state`."""
-        import json
-        import pathlib
+    def load_state(self, directory) -> checkpoint.CheckpointLoadReport:
+        """Restore state saved with :meth:`save_state`.
 
-        path = pathlib.Path(directory)
-        store_file = path / "templates.json"
-        if store_file.exists():
-            self.store = TemplateStore.from_dict(
-                json.loads(store_file.read_text())
-            )
-            self.diagnosis.store = self.store
-        model_file = path / "estimator.npz"
-        if model_file.exists():
-            self.estimator.model = DeepIndexEstimator.load(model_file)
+        Tolerant of truncated, corrupt, or partially-written
+        checkpoints: each component independently falls back to its
+        previous generation, and a component with no loadable copy is
+        skipped (the in-memory state is kept). Never raises; the
+        returned report says what was restored from where.
+        """
+        faults = self.db.faults
+        report = checkpoint.CheckpointLoadReport()
+        manifest = checkpoint.read_manifest(directory, faults=faults)
+        report.manifest_found = manifest is not None
+        store = checkpoint.read_component(
+            directory,
+            "templates.json",
+            lambda blob: TemplateStore.from_dict(
+                json.loads(blob.decode("utf-8"))
+            ),
+            manifest,
+            report,
+            faults=faults,
+        )
+        if store is not None:
+            self.store = store
+            self.diagnosis.store = store
+        model = checkpoint.read_component(
+            directory,
+            "estimator.npz",
+            lambda blob: DeepIndexEstimator.load(io.BytesIO(blob)),
+            manifest,
+            report,
+            faults=faults,
+        )
+        if model is not None:
+            self.estimator.model = model
+            self.estimator.degraded_reason = None
             self.estimator.clear_cache()
+        return report
 
     # ------------------------------------------------------------------
     # tuning
@@ -262,57 +339,131 @@ class AutoIndexAdvisor:
         With ``force=False`` the round is skipped unless the diagnosis
         module reports enough index problems (the paper's monitored
         trigger).
+
+        The round is guarded end to end: recently-applied indexes
+        whose observation window shows regression are reverted first;
+        an unusable estimator turns the round into a skipped report
+        with a ``degraded`` reason; and the apply itself is
+        transactional — a failure mid-sequence rolls the catalog back
+        to exactly the pre-apply configuration.
         """
         timer = Stopwatch()
         calls_before = self.estimator.estimate_calls
         plans_before = self.estimator.plans_computed
+        retries_before = self.estimator.retries
+        fallbacks_before = self.estimator.fallbacks
         report = TuningReport()
+
+        # Revert pass: drop recently-applied indexes that regressed
+        # during their post-apply observation window.
+        reverted = self.diagnosis.check_applied()
+        for definition in reverted:
+            self.db.drop_index(definition)
+        if reverted:
+            self.estimator.clear_cache()
+        report.dropped.extend(reverted)
+        report.rolled_back += len(reverted)
 
         if not force:
             problems = self.diagnose()
             if not problems.should_tune(trigger_threshold):
                 report.skipped = True
-                report.elapsed_seconds = timer.elapsed()
-                self.tuning_history.append(report)
-                return report
+                return self._finalize(
+                    report,
+                    timer,
+                    calls_before,
+                    plans_before,
+                    retries_before,
+                    fallbacks_before,
+                )
 
         templates = self.store.templates(top=self.top_templates)
         candidates = self.generator.generate(templates)
         existing = self.db.index_defs()
         protected = self.protected_indexes()
 
-        result = self.selector.search(
-            existing=existing,
-            candidates=[c.definition for c in candidates],
-            templates=templates,
-            budget_bytes=self.storage_budget,
-            protected=protected,
-        )
+        try:
+            result = self.selector.search(
+                existing=existing,
+                candidates=[c.definition for c in candidates],
+                templates=templates,
+                budget_bytes=self.storage_budget,
+                protected=protected,
+            )
+        except EstimatorUnavailable as exc:
+            # Degradation ladder exhausted: model retries, the
+            # what-if fallback, nothing left. Skip the round rather
+            # than crash the serving system.
+            report.skipped = True
+            report.degraded = str(exc)
+            return self._finalize(
+                report,
+                timer,
+                calls_before,
+                plans_before,
+                retries_before,
+                fallbacks_before,
+            )
 
-        for definition in result.removals:
-            self.db.drop_index(definition)
-        for definition in result.additions:
-            self.db.create_index(definition)
-        if result.additions or result.removals:
-            self.estimator.clear_cache()
-            self.db.reset_index_usage()
+        changeset = IndexChangeSet(self.db)
+        try:
+            changeset.apply(
+                drops=result.removals, creates=result.additions
+            )
+        except Exception as exc:
+            # Any DDL failure (including injected index-build faults)
+            # must leave the catalog in exactly the before state.
+            undone = changeset.rollback()
+            report.rolled_back += undone
+            report.degraded = (
+                f"apply failed after {undone} changes, rolled back: {exc}"
+            )
+        else:
+            report.created = list(result.additions)
+            report.dropped.extend(result.removals)
+            self.diagnosis.register_applied(result.additions)
+            if result.additions or result.removals:
+                self.estimator.clear_cache()
+                self.db.reset_index_usage()
 
-        report.created = result.additions
-        report.dropped = result.removals
         report.estimated_benefit = result.best_benefit
         report.baseline_cost = result.baseline_cost
         report.templates_used = len(templates)
         report.candidates_considered = len(candidates)
+        report.cache_hit_rate = result.cache_stats["cost"].hit_rate
+        report.search = result
+        report.deadline_hit = result.deadline_hit
+        self.store.begin_tuning_window()
+        return self._finalize(
+            report,
+            timer,
+            calls_before,
+            plans_before,
+            retries_before,
+            fallbacks_before,
+        )
+
+    def _finalize(
+        self,
+        report: TuningReport,
+        timer: Stopwatch,
+        calls_before: int,
+        plans_before: int,
+        retries_before: int,
+        fallbacks_before: int,
+    ) -> TuningReport:
+        """Fill round-delta counters and record the report."""
         report.estimator_calls = (
             self.estimator.estimate_calls - calls_before
         )
         report.plans_computed = (
             self.estimator.plans_computed - plans_before
         )
-        report.cache_hit_rate = result.cache_stats["cost"].hit_rate
+        report.retries = self.estimator.retries - retries_before
+        report.fallbacks = self.estimator.fallbacks - fallbacks_before
+        if report.fallbacks and report.degraded is None:
+            report.degraded = self.estimator.degraded_reason
         report.statements_analyzed = self.statements_analyzed
-        report.search = result
         report.elapsed_seconds = timer.elapsed()
         self.tuning_history.append(report)
-        self.store.begin_tuning_window()
         return report

@@ -1,0 +1,113 @@
+"""Guarded application of index changes with full rollback.
+
+``AutoIndexAdvisor.tune()`` used to apply MCTS results directly —
+drop, drop, create, create — so a failure mid-sequence (an index build
+running out of memory, an injected ``index.build`` fault) stranded the
+database between configurations: some removals done, some additions
+missing, and the advisor's bookkeeping describing neither.
+
+:class:`IndexChangeSet` makes the apply transactional at the advisor
+level. Each individual ``create_index``/``drop_index`` is already
+atomic against the catalog (builds happen before registration); the
+changeset records every completed step and, on any failure, undoes
+them in reverse order — re-creating dropped indexes from the current
+heap and dropping half-delivered additions — so the catalog always
+ends in exactly the before or exactly the after configuration.
+
+Rollback runs with fault injection suppressed: the chaos harness must
+never be able to fail the recovery path it exists to exercise, and in
+a real system the revert path is precisely the code you keep simple
+enough to trust.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.index import IndexDef
+
+
+class ChangeSetError(RuntimeError):
+    """Raised when rollback itself cannot restore the snapshot."""
+
+
+class IndexChangeSet:
+    """One transactional batch of index drops and creates."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.snapshot: List[IndexDef] = db.index_defs()
+        self._applied: List[Tuple[str, IndexDef]] = []
+        self.committed = False
+
+    # -- forward path -------------------------------------------------------
+
+    def apply(
+        self,
+        drops: Sequence[IndexDef] = (),
+        creates: Sequence[IndexDef] = (),
+    ) -> int:
+        """Apply drops then creates, recording each completed change.
+
+        Raises whatever the underlying DDL raised; the caller decides
+        whether to :meth:`rollback`. Returns the number of changes
+        applied.
+        """
+        for definition in drops:
+            self.db.drop_index(definition)
+            self._applied.append(("drop", definition))
+        for definition in creates:
+            self.db.create_index(definition)
+            self._applied.append(("create", definition))
+        self.committed = True
+        return len(self._applied)
+
+    # -- reverse path -------------------------------------------------------
+
+    def rollback(self) -> int:
+        """Undo every applied change, newest first.
+
+        Returns the number of changes undone. Idempotent: a second
+        call is a no-op. Fault injection is suppressed for the
+        duration — recovery must not itself be failable.
+        """
+        undone = 0
+        faults = self.db.faults
+        suppression = (
+            faults.suppressed() if faults is not None else _NoSuppress()
+        )
+        with suppression:
+            while self._applied:
+                action, definition = self._applied.pop()
+                try:
+                    if action == "drop":
+                        self.db.create_index(definition)
+                    else:
+                        self.db.drop_index(definition)
+                except Exception as exc:  # pragma: no cover - defensive
+                    raise ChangeSetError(
+                        f"rollback failed undoing {action} of "
+                        f"{definition}: {exc}"
+                    ) from exc
+                undone += 1
+        self.committed = False
+        return undone
+
+    # -- verification -------------------------------------------------------
+
+    def matches_snapshot(self) -> bool:
+        """True when the catalog equals the pre-apply configuration."""
+        return {d.key for d in self.db.index_defs()} == {
+            d.key for d in self.snapshot
+        }
+
+
+class _NoSuppress:
+    """Null context for databases without a fault injector."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None

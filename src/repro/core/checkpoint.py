@@ -1,0 +1,204 @@
+"""Crash-safe checkpoint directories for advisor state.
+
+Layout (all writes atomic: temp file + fsync + rename):
+
+    <dir>/templates.json        current component payloads
+    <dir>/estimator.npz
+    <dir>/templates.json.prev   previous generation (rename of the
+    <dir>/estimator.npz.prev    old file, made just before replacing)
+    <dir>/manifest.json         written LAST: format version + sha256
+    <dir>/manifest.json.prev    checksum and byte size per component
+
+Because the manifest lands last and every file is replaced atomically,
+a crash at any instant leaves the directory loadable:
+
+* crash before any write — the old generation is untouched;
+* crash between component writes — new files are complete (rename is
+  atomic; there are no torn writes), old files survive as ``.prev``;
+* crash before the manifest write — component checksums mismatch the
+  stale manifest, which the loader treats as "unverified", not fatal.
+
+Loading mirrors that: for each component the loader tries the current
+file, then ``.prev``, accepting the first candidate that actually
+parses; checksums (when a manifest entry exists) upgrade a load to
+*verified* but a mismatch alone never rejects a parseable payload — a
+complete-but-unmanifested file is exactly what a mid-save crash leaves
+behind. A component with no loadable candidate is *skipped* (the
+caller keeps its in-memory state); :func:`read_component` never
+raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.faults import (
+    FaultError,
+    FaultInjector,
+    check as fault_check,
+)
+
+MANIFEST_NAME = "manifest.json"
+PREV_SUFFIX = ".prev"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ComponentLoad:
+    """How one component of a checkpoint loaded."""
+
+    name: str
+    status: str  # "loaded" | "fallback" | "skipped" | "missing"
+    verified: bool = False
+    detail: str = ""
+
+
+@dataclass
+class CheckpointLoadReport:
+    """What :meth:`AutoIndexAdvisor.load_state` managed to restore."""
+
+    components: List[ComponentLoad] = field(default_factory=list)
+    manifest_found: bool = False
+
+    def status_of(self, name: str) -> Optional[str]:
+        for component in self.components:
+            if component.name == name:
+                return component.status
+        return None
+
+    def loaded(self, name: str) -> bool:
+        return self.status_of(name) in ("loaded", "fallback")
+
+
+def atomic_write(path: pathlib.Path, blob: bytes) -> None:
+    """Write ``blob`` so that ``path`` is only ever old or complete."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def write_checkpoint(
+    directory,
+    components: Dict[str, bytes],
+    faults: Optional[FaultInjector] = None,
+) -> Dict:
+    """Write a checkpoint generation; returns the manifest dict.
+
+    The previous generation of every replaced file is preserved under
+    ``<name>.prev`` *before* the new payload lands, so a crash (or an
+    injected ``checkpoint.io`` fault) mid-save always leaves a
+    complete generation on disk for the loader to fall back to.
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    entries: Dict[str, Dict] = {}
+    for name, blob in components.items():
+        fault_check(faults, "checkpoint.io")
+        target = path / name
+        if target.exists():
+            os.replace(target, path / (name + PREV_SUFFIX))
+        atomic_write(target, blob)
+        entries[name] = {"sha256": _sha256(blob), "bytes": len(blob)}
+    fault_check(faults, "checkpoint.io")
+    manifest = {"format_version": FORMAT_VERSION, "components": entries}
+    manifest_blob = json.dumps(manifest, indent=2, sort_keys=True).encode(
+        "utf-8"
+    )
+    manifest_target = path / MANIFEST_NAME
+    if manifest_target.exists():
+        os.replace(
+            manifest_target, path / (MANIFEST_NAME + PREV_SUFFIX)
+        )
+    atomic_write(manifest_target, manifest_blob)
+    return manifest
+
+
+def read_manifest(
+    directory, faults: Optional[FaultInjector] = None
+) -> Optional[Dict]:
+    """Best-effort manifest read: current, then ``.prev``, else None."""
+    path = pathlib.Path(directory)
+    for name in (MANIFEST_NAME, MANIFEST_NAME + PREV_SUFFIX):
+        candidate = path / name
+        if not candidate.exists():
+            continue
+        try:
+            fault_check(faults, "checkpoint.io")
+            manifest = json.loads(candidate.read_bytes().decode("utf-8"))
+        except (OSError, ValueError, FaultError):
+            continue
+        if isinstance(manifest, dict) and isinstance(
+            manifest.get("components"), dict
+        ):
+            return manifest
+    return None
+
+
+def read_component(
+    directory,
+    name: str,
+    loader: Callable[[bytes], object],
+    manifest: Optional[Dict],
+    report: CheckpointLoadReport,
+    faults: Optional[FaultInjector] = None,
+) -> Optional[object]:
+    """Load one component, falling back to its previous generation.
+
+    Tries ``<name>`` then ``<name>.prev``; the first candidate whose
+    bytes both read and pass ``loader`` wins. Never raises — a
+    component with no usable candidate is recorded as skipped/missing
+    and ``None`` is returned so the caller keeps its current state.
+    """
+    path = pathlib.Path(directory)
+    entry = (manifest or {}).get("components", {}).get(name)
+    failures: List[str] = []
+    tried_any = False
+    for suffix, status in (("", "loaded"), (PREV_SUFFIX, "fallback")):
+        candidate = path / (name + suffix)
+        if not candidate.exists():
+            continue
+        tried_any = True
+        try:
+            fault_check(faults, "checkpoint.io")
+            blob = candidate.read_bytes()
+        except (OSError, FaultError) as exc:
+            failures.append(f"{candidate.name}: read failed ({exc})")
+            continue
+        verified = bool(entry) and entry.get("sha256") == _sha256(blob)
+        try:
+            value = loader(blob)
+        except Exception as exc:
+            # Deliberately broad: "load the last good state, never
+            # raise" is the contract; any parse/validation error just
+            # advances to the previous generation.
+            failures.append(f"{candidate.name}: unloadable ({exc})")
+            continue
+        report.components.append(
+            ComponentLoad(
+                name=name,
+                status=status,
+                verified=verified,
+                detail="; ".join(failures),
+            )
+        )
+        return value
+    report.components.append(
+        ComponentLoad(
+            name=name,
+            status="skipped" if tried_any else "missing",
+            detail="; ".join(failures),
+        )
+    )
+    return None

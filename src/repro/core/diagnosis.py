@@ -18,7 +18,7 @@ is issued.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.candidates import CandidateGenerator
 from repro.core.templates import TemplateStore
@@ -35,6 +35,10 @@ class IndexProblemReport:
     negative: List[IndexDef] = field(default_factory=list)
     considered: int = 0
     regression: bool = False
+    #: Recently-applied indexes whose post-apply observation window
+    #: shows regression (the paper's negative-benefit class); the
+    #: advisor reverts these automatically.
+    auto_revert: List[IndexDef] = field(default_factory=list)
 
     @property
     def problem_count(self) -> int:
@@ -66,6 +70,8 @@ class IndexDiagnosis:
         min_observations: int = 50,
         negative_maintenance_factor: float = 10.0,
         min_candidate_support: float = 3.0,
+        revert_window: int = 2,
+        revert_min_maintenance: int = 20,
     ):
         self.db = db
         self.store = store
@@ -73,6 +79,15 @@ class IndexDiagnosis:
         self.min_observations = min_observations
         self.negative_maintenance_factor = negative_maintenance_factor
         self.min_candidate_support = min_candidate_support
+        # Post-apply observation window: indexes the advisor just
+        # created are watched for ``revert_window`` diagnosis passes;
+        # if maintenance dwarfs lookups in that window the index
+        # regressed and is flagged for automatic revert. The
+        # ``revert_min_maintenance`` floor stops a handful of early
+        # writes from condemning an index before it served anything.
+        self.revert_window = revert_window
+        self.revert_min_maintenance = revert_min_maintenance
+        self._watched: Dict[Tuple, Tuple[IndexDef, int]] = {}
 
     def diagnose(
         self,
@@ -104,4 +119,65 @@ class IndexDiagnosis:
             if candidate.support >= self.min_candidate_support:
                 report.missing_beneficial.append(candidate.definition)
 
+        report.auto_revert = self.check_applied(consume=False)
         return report
+
+    # ------------------------------------------------------------------
+    # post-apply observation window
+    # ------------------------------------------------------------------
+
+    def register_applied(self, created: Sequence[IndexDef]) -> None:
+        """Start watching freshly-applied indexes for regression."""
+        for definition in created:
+            if definition.unique:
+                continue  # never auto-revert constraint indexes
+            self._watched[definition.key] = (
+                definition,
+                self.revert_window,
+            )
+
+    def watched_indexes(self) -> List[IndexDef]:
+        """Indexes currently inside their observation window."""
+        return [d for d, _ in self._watched.values()]
+
+    def check_applied(self, consume: bool = True) -> List[IndexDef]:
+        """One observation-window pass over recently-applied indexes.
+
+        Returns the definitions that regressed (write maintenance
+        dwarfing lookups — the paper's negative-benefit class). With
+        ``consume=True`` (the revert pass in ``tune()``) a flagged or
+        expired index leaves the watch list and healthy windows tick
+        down; ``consume=False`` (``diagnose()``) is a read-only
+        preview so a diagnosis followed by tuning does not burn two
+        windows per round.
+        """
+        if not self._watched:
+            return []
+        usage = {
+            u.definition.key: u for u in self.db.index_usage()
+        }
+        regressed: List[IndexDef] = []
+        for key in list(self._watched):
+            definition, remaining = self._watched[key]
+            used = usage.get(key)
+            if used is None:
+                if consume:
+                    del self._watched[key]  # dropped by other means
+                continue
+            if (
+                used.maintenance_ops >= self.revert_min_maintenance
+                and used.maintenance_ops
+                > max(used.lookups, 1) * self.negative_maintenance_factor
+            ):
+                regressed.append(definition)
+                if consume:
+                    del self._watched[key]
+                continue
+            if not consume:
+                continue
+            remaining -= 1
+            if remaining <= 0:
+                del self._watched[key]
+            else:
+                self._watched[key] = (definition, remaining)
+        return regressed

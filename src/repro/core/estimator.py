@@ -27,9 +27,26 @@ from repro.core.features import (
 )
 from repro.core.templates import QueryTemplate
 from repro.engine.database import Database
+from repro.engine.faults import (
+    FaultError,
+    PermanentFault,
+    TransientFault,
+    VirtualClock,
+    backoff_delay,
+)
 from repro.engine.index import IndexDef
 from repro.engine.metrics import CacheStats, LruCache
 from repro.sql import ast
+from repro.sql.lexer import SqlSyntaxError
+
+
+class EstimatorUnavailable(RuntimeError):
+    """Raised when every rung of the degradation ladder has failed.
+
+    The advisor treats this as "skip the round, do not crash": even
+    the analytic what-if fallback could not produce a prediction, so
+    there is no estimate to tune with.
+    """
 
 
 class WhatIfCostModel:
@@ -247,6 +264,8 @@ class BenefitEstimator:
         model=None,
         cache_size: int = 50_000,
         feature_cache_size: int = 50_000,
+        max_predict_retries: int = 3,
+        clock: Optional[VirtualClock] = None,
     ):
         self.db = db
         self.model = model if model is not None else WhatIfCostModel()
@@ -259,8 +278,69 @@ class BenefitEstimator:
         self._catalog_version = db.catalog.version
         self.estimate_calls = 0  # model predictions (cost-tier misses)
         self.plans_computed = 0  # planner invocations (feature misses)
+        # Resilience (the degradation ladder; see _predict).
+        self.faults = getattr(db, "faults", None)
+        self.max_predict_retries = max_predict_retries
+        self.clock = clock if clock is not None else VirtualClock()
+        self.retries = 0            # transient predict faults retried
+        self.fallbacks = 0          # deep model -> what-if demotions
+        self.placeholder_fallbacks = 0  # sample SQL unusable, used template
+        self.degraded_reason: Optional[str] = None
 
     # -- estimation --------------------------------------------------------------
+
+    def _predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Model prediction behind the degradation ladder.
+
+        Rungs, in order:
+
+        1. the current model (deep regression once trained);
+        2. on a *transient* fault: bounded retries with deterministic
+           exponential backoff on the virtual clock;
+        3. on a *permanent* fault, exhausted retries, or a genuine
+           model blow-up: demote to the analytic
+           :class:`WhatIfCostModel` (flushing the cost tier, which is
+           model-dependent) and keep going;
+        4. if even the what-if fallback cannot predict:
+           :class:`EstimatorUnavailable` — the advisor turns that into
+           a skipped-not-crashed tuning round.
+
+        With no fault injector and a healthy model this is exactly one
+        ``model.predict`` call — bitwise-identical to the undecorated
+        path.
+        """
+        attempts = 0
+        while True:
+            try:
+                if self.faults is not None:
+                    self.faults.check("estimator.predict")
+                return self.model.predict(matrix)
+            except TransientFault:
+                if attempts < self.max_predict_retries:
+                    attempts += 1
+                    self.retries += 1
+                    self.clock.sleep(backoff_delay(attempts - 1))
+                    continue
+                reason = "transient predict faults exhausted retries"
+            except PermanentFault:
+                reason = "permanent predict fault"
+            except (RuntimeError, ValueError, FloatingPointError) as exc:
+                reason = f"model failure: {exc}"
+            self._degrade(reason)
+            attempts = 0
+
+    def _degrade(self, reason: str) -> None:
+        """Drop one rung down the ladder or give up."""
+        if isinstance(self.model, WhatIfCostModel):
+            raise EstimatorUnavailable(
+                f"what-if fallback unusable ({reason})"
+            )
+        self.fallbacks += 1
+        self.degraded_reason = reason
+        self.model = WhatIfCostModel()
+        # The cost tier is model-dependent; predictions cached from
+        # the demoted model must not mix with fallback predictions.
+        self._cache.clear()
 
     def _check_version(self) -> None:
         """Flush both tiers if the database changed underneath us."""
@@ -290,7 +370,7 @@ class BenefitEstimator:
         features = self._features_for(template, key, relevant)
         self.estimate_calls += 1
         # lint: ignore[cache-key] -- model swaps flush the cost tier (train/clear_cache)
-        cost = float(self.model.predict(features.as_array()[None, :])[0])
+        cost = float(self._predict(features.as_array()[None, :])[0])
         self._cache.put(key, cost)
         return cost
 
@@ -305,9 +385,37 @@ class BenefitEstimator:
         if features is None:
             self.plans_computed += 1
             statement = self._representative(template)
-            features = compute_features(self.db, statement, relevant)
+            features = self._plan_features(statement, relevant)
             self._feature_cache.put(key, features)
         return features
+
+    def _plan_features(
+        self, statement: ast.Statement, relevant: List[IndexDef]
+    ) -> CostFeatures:
+        """Feature planning with bounded retry on transient faults.
+
+        Planning has no analytic fallback (it *is* the analytic
+        layer), so a permanent planner fault — or retries running
+        dry — escalates to :class:`EstimatorUnavailable` and the
+        advisor skips the round.
+        """
+        attempts = 0
+        while True:
+            try:
+                return compute_features(self.db, statement, relevant)
+            except TransientFault:
+                if attempts < self.max_predict_retries:
+                    attempts += 1
+                    self.retries += 1
+                    self.clock.sleep(backoff_delay(attempts - 1))
+                    continue
+                raise EstimatorUnavailable(
+                    "transient planner faults exhausted retries"
+                ) from None
+            except PermanentFault as exc:
+                raise EstimatorUnavailable(
+                    f"permanent planner fault ({exc})"
+                ) from None
 
     def _representative(self, template: QueryTemplate) -> ast.Statement:
         """A concrete statement standing in for the template."""
@@ -317,7 +425,12 @@ class BenefitEstimator:
         if cached is None:
             try:
                 cached = self.db.parse_statement(template.sample_sql)
-            except Exception:
+            except (SqlSyntaxError, FaultError):
+                # Unparsable (or fault-injected) sample: fall back to
+                # the placeholder form. Counted, not swallowed — a
+                # rising placeholder_fallbacks means estimates are
+                # running on unknown-value selectivities.
+                self.placeholder_fallbacks += 1
                 cached = template.statement
             self._sample_cache.put(template.fingerprint, cached)
         return cached
@@ -377,7 +490,7 @@ class BenefitEstimator:
             return
         matrix = np.stack([m[3].as_array() for m in missing])
         # lint: ignore[cache-key] -- model swaps flush the cost tier (train/clear_cache)
-        predicted = self.model.predict(matrix)
+        predicted = self._predict(matrix)
         self.estimate_calls += len(missing)
         for (i, key, weight, _features), cost in zip(missing, predicted):
             cost = float(cost)
@@ -520,6 +633,16 @@ class BenefitEstimator:
         return {
             "cost": self._cache.stats(),
             "features": self._feature_cache.stats(),
+        }
+
+    def resilience_stats(self) -> Dict[str, object]:
+        """Degradation-ladder counters (visible, not just internal)."""
+        return {
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "placeholder_fallbacks": self.placeholder_fallbacks,
+            "backoff_virtual_seconds": self.clock.now(),
+            "degraded_reason": self.degraded_reason,
         }
 
     # -- learning ------------------------------------------------------------------

@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.estimator import BenefitEstimator
 from repro.core.templates import QueryTemplate
 from repro.engine.index import IndexDef
-from repro.engine.metrics import CacheStats
+from repro.engine.metrics import CacheStats, Stopwatch
 
 IndexKey = Tuple[str, Tuple[str, ...]]
 
@@ -108,6 +108,7 @@ class SearchResult:
     removals: List[IndexDef] = field(default_factory=list)
     plans_computed: int = 0
     cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
+    deadline_hit: bool = False
 
     @property
     def relative_improvement(self) -> float:
@@ -170,6 +171,8 @@ class MctsIndexSelector:
         seed: int = 17,
         rng: Optional[random.Random] = None,
         delta_costing: bool = True,
+        deadline_seconds: Optional[float] = None,
+        max_evaluations: Optional[int] = None,
     ):
         self.estimator = estimator
         self.gamma = gamma
@@ -178,6 +181,12 @@ class MctsIndexSelector:
         self.rollout_depth = rollout_depth
         self.max_children = max_children
         self.patience = patience
+        # Anytime-search bounds: a cooperative wall-clock deadline
+        # (checked between iterations, never mid-evaluation) and a
+        # deterministic evaluation cap. Both return best-so-far
+        # instead of raising; None disables each.
+        self.deadline_seconds = deadline_seconds
+        self.max_evaluations = max_evaluations
         # An injected RNG makes rollouts reproducible run-to-run (and
         # lets callers share one stream across components); ``seed``
         # is the convenience fallback.
@@ -249,8 +258,22 @@ class MctsIndexSelector:
         self._best_config = root_config
         stale_rounds = 0
         iterations_run = 0
+        deadline_hit = False
+        timer = (
+            Stopwatch() if self.deadline_seconds is not None else None
+        )
 
         for _ in range(self.iterations):
+            if timer is not None and (
+                timer.elapsed() >= self.deadline_seconds
+            ):
+                deadline_hit = True
+                break
+            if self.max_evaluations is not None and (
+                self._evaluations >= self.max_evaluations
+            ):
+                deadline_hit = True
+                break
             iterations_run += 1
             previous_best = self._best_benefit
             node = self._select(root)
@@ -263,30 +286,39 @@ class MctsIndexSelector:
             if stale_rounds >= self.patience:
                 break
 
-        # Final polish (Section III workflow): prune redundant/negative
-        # indexes out of the winner; also consider the pruned union of
-        # all candidates — shrunk back inside the budget by dropping
-        # the worst benefit-per-byte indexes — which greedy repair can
-        # turn into a strong configuration even when search never
-        # visited it directly.
-        union = root_config | {
-            c.key
-            for c in self._candidates
-            if self._budget is None
-            or self.estimator.db.index_size_bytes(c) <= self._budget
-        }
-        pruned_union = self._fit_to_budget(self._prune(frozenset(union)))
-        union_cost, _ = self._cost_of(pruned_union, self._root_ref)
-        union_benefit = self._baseline_cost - union_cost
-        if (
-            union_benefit > self._best_benefit
-            and self._within_budget(pruned_union)
-        ):
-            self._best_benefit = union_benefit
-            self._best_config = pruned_union
+        if not deadline_hit:
+            # Final polish (Section III workflow): prune redundant/
+            # negative indexes out of the winner; also consider the
+            # pruned union of all candidates — shrunk back inside the
+            # budget by dropping the worst benefit-per-byte indexes —
+            # which greedy repair can turn into a strong configuration
+            # even when search never visited it directly. Skipped
+            # entirely once the deadline fires: polish costs many more
+            # evaluations, and anytime search promises best-so-far
+            # *now*.
+            union = root_config | {
+                c.key
+                for c in self._candidates
+                if self._budget is None
+                or self.estimator.db.index_size_bytes(c) <= self._budget
+            }
+            pruned_union = self._fit_to_budget(
+                self._prune(frozenset(union))
+            )
+            union_cost, _ = self._cost_of(pruned_union, self._root_ref)
+            union_benefit = self._baseline_cost - union_cost
+            if (
+                union_benefit > self._best_benefit
+                and self._within_budget(pruned_union)
+            ):
+                self._best_benefit = union_benefit
+                self._best_config = pruned_union
 
         best_benefit = self._best_benefit
-        best_config = self._prune(self._best_config)
+        if deadline_hit:
+            best_config = self._best_config
+        else:
+            best_config = self._prune(self._best_config)
         final_cost, _ = self._cost_of(best_config, self._root_ref)
         best_benefit = max(
             self._baseline_cost - final_cost,
@@ -310,6 +342,7 @@ class MctsIndexSelector:
             removals=removals,
             plans_computed=self.estimator.plans_computed,
             cache_stats=self.estimator.cache_stats(),
+            deadline_hit=deadline_hit,
         )
 
     # ------------------------------------------------------------------

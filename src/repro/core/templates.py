@@ -117,6 +117,41 @@ class TemplateStore:
         template.sample_sql = sql
         return template
 
+    def observe_raw(self, sql: str, statement: Optional[ast.Statement] = None
+                    ) -> QueryTemplate:
+        """Record one query *without* template normalisation.
+
+        The template-ablation path (``use_templates=False``, the
+        paper's query-level baseline): every distinct SQL string is
+        its own "template", keyed by the raw text rather than the
+        parameterized fingerprint. Shares the store's clock, window
+        counters, and capacity eviction with :meth:`observe` so the
+        two paths are directly comparable.
+        """
+        if statement is None:
+            statement = parse(sql)
+        self._clock += 1
+        self.total_observed += 1
+        self._window_arrivals += 1
+
+        template = self._templates.get(sql)
+        if template is None:
+            self._window_misses += 1
+            self.total_new_templates += 1
+            template = QueryTemplate(
+                fingerprint=sql,
+                statement=statement,
+                is_write=ast.is_write(statement),
+            )
+            self._templates[sql] = template
+            if len(self._templates) > self.capacity:
+                self._evict()
+        template.frequency += 1.0
+        template.window_frequency += 1.0
+        template.last_seen = self._clock
+        template.sample_sql = sql
+        return template
+
     def _evict(self) -> None:
         """Drop the least-frequently / least-recently matched template."""
         victim = min(

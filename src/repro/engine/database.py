@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostParams, CostTracker, DEFAULT_PARAMS
 from repro.engine.executor import Executor
+from repro.engine.faults import FaultInjector, check as fault_check
 from repro.engine.index import Index, IndexDef
 from repro.engine.metrics import IndexUsage, QueryRecord, WorkloadMonitor
 from repro.engine.plan import (
@@ -58,10 +59,15 @@ class ExecutionResult:
 class Database:
     """An in-process relational database with cost instrumentation."""
 
-    def __init__(self, params: CostParams = DEFAULT_PARAMS):
+    def __init__(
+        self,
+        params: CostParams = DEFAULT_PARAMS,
+        faults: Optional[FaultInjector] = None,
+    ):
         self.params = params
+        self.faults = faults
         self.catalog = Catalog()
-        self.planner = Planner(self.catalog, params)
+        self.planner = Planner(self.catalog, params, faults=faults)
         self.monitor = WorkloadMonitor()
         self._statement_cache: Dict[str, ast.Statement] = {}
 
@@ -86,8 +92,15 @@ class Database:
         self.catalog.drop_table(name)
 
     def create_index(self, definition: IndexDef) -> Index:
-        """Materialise an index (bulk-built from current table data)."""
+        """Materialise an index (bulk-built from current table data).
+
+        Atomic with respect to the catalog: the B+Tree build happens
+        *before* registration, so a build failure (including an
+        injected ``index.build`` fault) leaves the catalog exactly as
+        it was — no half-registered index.
+        """
         entry = self.catalog.table(definition.table)
+        fault_check(self.faults, "index.build")
         index = Index(definition, entry.schema)
         index.build(list(entry.heap.scan()))
         self.catalog.add_index(index)
@@ -129,6 +142,7 @@ class Database:
         """Recompute statistics (ANALYZE) for one table or all."""
         names = [table] if table else self.catalog.table_names()
         for name in names:
+            fault_check(self.faults, "stats.refresh")
             entry = self.catalog.table(name)
             rows = [row for _rid, row in entry.heap.scan()]
             entry.stats = analyze_table(rows, entry.schema.column_names)
@@ -142,6 +156,7 @@ class Database:
     # ------------------------------------------------------------------
 
     def parse_statement(self, sql: str) -> ast.Statement:
+        fault_check(self.faults, "parser.parse")
         cached = self._statement_cache.get(sql)
         if cached is None:
             cached = parse(sql)

@@ -1,0 +1,306 @@
+"""Deterministic fault injection for resilience testing.
+
+The tuning runtime is exercised under failure with *seeded, replayable*
+faults: a :class:`FaultPlan` names the fault points to perturb (with a
+per-visit probability and/or an explicit visit schedule), and a
+:class:`FaultInjector` built from the plan is threaded through the
+engine and advisor. Every decision is a pure function of the plan seed
+and the visit sequence — no wall clock, no global RNG — so a chaos run
+replays bit-identically under the same seed.
+
+Fault points wired into the stack (see ``FAULT_POINTS``):
+
+* ``parser.parse``       — :meth:`Database.parse_statement`
+* ``planner.plan``       — :meth:`Planner.plan`
+* ``estimator.predict``  — ``BenefitEstimator`` model predictions
+* ``index.build``        — :meth:`Database.create_index` B+Tree build
+* ``stats.refresh``      — :meth:`Database.analyze`
+* ``checkpoint.io``      — advisor ``save_state`` / ``load_state``
+
+Faults are typed: a :class:`TransientFault` models a recoverable blip
+(retry is expected to succeed eventually); a :class:`PermanentFault`
+models a hard failure (retry is pointless, the caller must degrade).
+
+This module is also home to :class:`VirtualClock`, the sanctioned
+backoff/deadline helper: retries "sleep" by advancing a virtual
+timestamp, so backoff schedules are deterministic and free. A real
+wall-clock mode exists only for the chaos bench (``real=True``), which
+is why this module appears on the determinism linter's clock
+whitelist.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: The named fault points components consult via ``check(point)``.
+FAULT_POINTS: Tuple[str, ...] = (
+    "parser.parse",
+    "planner.plan",
+    "estimator.predict",
+    "index.build",
+    "stats.refresh",
+    "checkpoint.io",
+)
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+class FaultError(Exception):
+    """Base class of injected faults."""
+
+    def __init__(self, point: str, visit: int):
+        super().__init__(f"injected fault at {point} (visit {visit})")
+        self.point = point
+        self.visit = visit
+
+
+class TransientFault(FaultError):
+    """A recoverable blip: retrying the operation may succeed."""
+
+
+class PermanentFault(FaultError):
+    """A hard failure: retrying cannot help, the caller must degrade."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When (and how) one fault point misbehaves.
+
+    ``probability`` fires a Bernoulli draw on every visit (from a
+    per-point seeded stream); ``schedule`` additionally fires on the
+    listed 1-based visit ordinals; ``limit`` caps the total number of
+    fires for the rule (``None`` = unlimited).
+    """
+
+    point: str
+    probability: float = 0.0
+    schedule: Tuple[int, ...] = ()
+    kind: str = TRANSIENT
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; "
+                f"expected one of {', '.join(FAULT_POINTS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.kind not in (TRANSIENT, PERMANENT):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded collection of fault rules (the chaos scenario)."""
+
+    rules: List[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    def add(
+        self,
+        point: str,
+        probability: float = 0.0,
+        schedule: Sequence[int] = (),
+        kind: str = TRANSIENT,
+        limit: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Append one rule; chainable."""
+        self.rules.append(
+            FaultRule(
+                point=point,
+                probability=probability,
+                schedule=tuple(schedule),
+                kind=kind,
+                limit=limit,
+            )
+        )
+        return self
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        rate: float = 0.2,
+        points: Sequence[str] = FAULT_POINTS,
+        kind: str = TRANSIENT,
+    ) -> "FaultPlan":
+        """A uniform-probability plan over ``points`` (the chaos bench)."""
+        plan = cls(seed=seed)
+        for point in points:
+            plan.add(point, probability=rate, kind=kind)
+        return plan
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+
+class _Suppression:
+    """Context manager pausing injection (used during rollback)."""
+
+    def __init__(self, injector: "FaultInjector"):
+        self._injector = injector
+
+    def __enter__(self) -> "FaultInjector":
+        self._injector._suppress_depth += 1
+        return self._injector
+
+    def __exit__(self, *exc_info) -> None:
+        self._injector._suppress_depth -= 1
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with per-point seeded streams.
+
+    Each fault point gets its own ``random.Random`` stream derived
+    from (plan seed, point name), so adding a rule for one point never
+    shifts the draws of another — plans compose without perturbing
+    each other's replay.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rules: Dict[str, List[FaultRule]] = {}
+        for rule in plan.rules:
+            self._rules.setdefault(rule.point, []).append(rule)
+        self._streams: Dict[str, Random] = {
+            point: Random(f"{plan.seed}:{point}") for point in self._rules
+        }
+        self._schedules: Dict[int, frozenset] = {
+            id(rule): frozenset(rule.schedule) for rule in plan.rules
+        }
+        self.visits: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+        self._fired_by_rule: Dict[int, int] = {}
+        self._suppress_depth = 0
+
+    # -- the hot entry point ------------------------------------------------
+
+    def check(self, point: str) -> None:
+        """Visit one fault point; raises when a rule fires.
+
+        Visits are counted even while suppressed (the counter is the
+        replay coordinate), but no fault fires and no random draw is
+        consumed inside a :meth:`suppressed` block.
+        """
+        visit = self.visits.get(point, 0) + 1
+        self.visits[point] = visit
+        if self._suppress_depth:
+            return
+        rules = self._rules.get(point)
+        if not rules:
+            return
+        for rule in rules:
+            if (
+                rule.limit is not None
+                and self._fired_by_rule.get(id(rule), 0) >= rule.limit
+            ):
+                continue
+            fires = visit in self._schedules[id(rule)]
+            if not fires and rule.probability > 0.0:
+                fires = (
+                    self._streams[point].random() < rule.probability
+                )
+            if not fires:
+                continue
+            self.fired[point] = self.fired.get(point, 0) + 1
+            self._fired_by_rule[id(rule)] = (
+                self._fired_by_rule.get(id(rule), 0) + 1
+            )
+            exc = (
+                PermanentFault if rule.kind == PERMANENT else TransientFault
+            )
+            raise exc(point, visit)
+
+    def suppressed(self) -> _Suppression:
+        """Pause injection (e.g. while rolling back a changeset)."""
+        return _Suppression(self)
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-point visit and fire counters (for chaos reports)."""
+        points = sorted(set(self.visits) | set(self.fired))
+        return {
+            point: {
+                "visits": self.visits.get(point, 0),
+                "fired": self.fired.get(point, 0),
+            }
+            for point in points
+        }
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+
+def check(injector: Optional[FaultInjector], point: str) -> None:
+    """``injector.check(point)`` tolerating ``injector=None``.
+
+    The convenience shim components call so that the no-faults
+    production path stays a single identity comparison.
+    """
+    if injector is not None:
+        injector.check(point)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic backoff
+# ---------------------------------------------------------------------------
+
+
+class VirtualClock:
+    """A clock whose ``sleep`` advances virtual time by default.
+
+    Retry backoff must not depend on the wall clock (replays would
+    diverge), so the default clock just accumulates the requested
+    delays. ``real=True`` additionally sleeps for real — used only by
+    the chaos bench when simulating live backpressure.
+    """
+
+    def __init__(self, real: bool = False):
+        self.real = real
+        self._virtual = 0.0
+
+    def now(self) -> float:
+        """Virtual seconds slept so far."""
+        return self._virtual
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._virtual += seconds
+        if self.real:
+            time.sleep(seconds)
+
+
+def backoff_delay(
+    attempt: int,
+    base: float = 0.01,
+    factor: float = 2.0,
+    cap: float = 1.0,
+) -> float:
+    """Deterministic exponential backoff: ``min(base*factor^n, cap)``.
+
+    No jitter on purpose: jitter exists to de-synchronise independent
+    clients, which does not apply in-process, and determinism is worth
+    more here.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    return min(base * (factor ** attempt), cap)
+
+
+def backoff_schedule(
+    attempts: int,
+    base: float = 0.01,
+    factor: float = 2.0,
+    cap: float = 1.0,
+) -> Iterator[float]:
+    """The full delay sequence for ``attempts`` retries."""
+    for attempt in range(attempts):
+        yield backoff_delay(attempt, base=base, factor=factor, cap=cap)

@@ -29,6 +29,7 @@ from repro.engine.cost import (
     index_cpu_cost,
     pages_fetched,
 )
+from repro.engine.faults import FaultInjector, check as fault_check
 from repro.engine.index import IndexDef, IndexShape
 from repro.engine.metrics import CacheStats, LruCache
 from repro.engine.stats import TableStats
@@ -90,9 +91,11 @@ class Planner:
         catalog: Catalog,
         params: CostParams = DEFAULT_PARAMS,
         plan_cache_size: int = 8192,
+        faults: Optional[FaultInjector] = None,
     ):
         self.catalog = catalog
         self.params = params
+        self.faults = faults
         # Access-path memo: (table, binding, predicate, needed columns,
         # per-table index signature, catalog version) -> chosen plan.
         # Statement ASTs are immutable, so a cached subtree can be
@@ -113,6 +116,7 @@ class Planner:
 
     def plan(self, stmt: ast.Statement) -> pl.PlanNode:
         """Plan any supported statement (dispatch by statement type)."""
+        fault_check(self.faults, "planner.plan")
         if isinstance(stmt, ast.Select):
             return self.plan_select(stmt)
         if isinstance(stmt, ast.Insert):

@@ -1,0 +1,192 @@
+"""Crash-safe checkpointing: torn, corrupt, and partial saves."""
+
+import json
+
+from repro.core.advisor import AutoIndexAdvisor
+from repro.core.checkpoint import (
+    read_manifest,
+    write_checkpoint,
+)
+from repro.core.estimator import DeepIndexEstimator
+from repro.engine.faults import FaultError, FaultPlan
+
+QUERIES = [
+    f"SELECT id FROM people WHERE community = {i % 10} AND status = 'x'"
+    for i in range(30)
+]
+
+
+def trained_advisor(db, seed=3):
+    advisor = AutoIndexAdvisor(db, mcts_iterations=40, seed=seed)
+    for sql in QUERIES:
+        result = db.execute(sql)
+        advisor.observe(sql)
+        advisor.record_execution(sql, result.cost)
+    advisor.train_estimator()
+    return advisor
+
+
+class TestManifest:
+    def test_save_writes_verifiable_manifest(self, people_db, tmp_path):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        manifest = read_manifest(tmp_path)
+        assert manifest is not None
+        assert set(manifest["components"]) == {
+            "templates.json",
+            "estimator.npz",
+        }
+        report = AutoIndexAdvisor(people_db).load_state(tmp_path)
+        assert report.manifest_found
+        assert all(c.verified for c in report.components)
+
+    def test_second_save_keeps_previous_generation(
+        self, people_db, tmp_path
+    ):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        advisor.observe(QUERIES[0])
+        advisor.save_state(tmp_path)
+        assert (tmp_path / "templates.json.prev").exists()
+        assert (tmp_path / "manifest.json.prev").exists()
+
+
+class TestRoundTrip:
+    def test_round_trip_restores_both_components(
+        self, people_db, tmp_path
+    ):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        fresh = AutoIndexAdvisor(people_db, mcts_iterations=40, seed=3)
+        report = fresh.load_state(tmp_path)
+        assert report.loaded("templates.json")
+        assert report.loaded("estimator.npz")
+        assert len(fresh.store) == len(advisor.store)
+        assert isinstance(fresh.estimator.model, DeepIndexEstimator)
+        assert fresh.estimator.model.trained
+
+
+class TestTornCheckpoints:
+    def test_truncated_templates_falls_back_to_previous(
+        self, people_db, tmp_path
+    ):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        first_generation_size = len(advisor.store)
+        advisor.store.observe("SELECT name FROM people WHERE id = 1")
+        advisor.save_state(tmp_path)
+        # Simulate a torn write of the current generation.
+        target = tmp_path / "templates.json"
+        target.write_bytes(target.read_bytes()[: 40])
+
+        fresh = AutoIndexAdvisor(people_db)
+        report = fresh.load_state(tmp_path)
+        assert report.status_of("templates.json") == "fallback"
+        assert len(fresh.store) == first_generation_size
+
+    def test_corrupt_estimator_falls_back_to_previous(
+        self, people_db, tmp_path
+    ):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        advisor.save_state(tmp_path)  # second generation -> .prev exists
+        (tmp_path / "estimator.npz").write_bytes(b"\x00garbage\x00")
+
+        fresh = AutoIndexAdvisor(people_db)
+        report = fresh.load_state(tmp_path)
+        assert report.status_of("estimator.npz") == "fallback"
+        assert isinstance(fresh.estimator.model, DeepIndexEstimator)
+        assert fresh.estimator.model.trained
+
+    def test_corrupt_without_previous_is_skipped_not_fatal(
+        self, people_db, tmp_path
+    ):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        (tmp_path / "templates.json").write_text("{not json")
+
+        fresh = AutoIndexAdvisor(people_db)
+        fresh.observe(QUERIES[0])
+        before = len(fresh.store)
+        report = fresh.load_state(tmp_path)  # must not raise
+        assert report.status_of("templates.json") == "skipped"
+        assert len(fresh.store) == before  # in-memory state kept
+
+    def test_missing_manifest_still_loads(self, people_db, tmp_path):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        (tmp_path / "manifest.json").unlink()
+        fresh = AutoIndexAdvisor(people_db)
+        report = fresh.load_state(tmp_path)
+        assert not report.manifest_found
+        assert report.loaded("templates.json")
+        # Without a manifest nothing can be checksum-verified.
+        assert not any(c.verified for c in report.components)
+
+    def test_corrupt_manifest_ignored(self, people_db, tmp_path):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        (tmp_path / "manifest.json").write_text("][")
+        report = AutoIndexAdvisor(people_db).load_state(tmp_path)
+        assert report.loaded("templates.json")
+
+
+class TestKilledMidSave:
+    def test_kill_between_component_writes_loads_last_good(
+        self, people_db, tmp_path
+    ):
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        good_size = len(advisor.store)
+
+        # Second save dies on its second checkpoint.io visit — after
+        # templates.json was renamed to .prev but before (or during)
+        # the estimator write; the manifest is never refreshed.
+        advisor.observe("SELECT name FROM people WHERE id = 2")
+        people_db.faults = FaultPlan(seed=0).add(
+            "checkpoint.io", schedule=[2]
+        ).injector()
+        try:
+            advisor.save_state(tmp_path)
+        except FaultError:
+            pass
+        finally:
+            people_db.faults = None
+
+        fresh = AutoIndexAdvisor(people_db)
+        report = fresh.load_state(tmp_path)  # must not raise
+        assert report.loaded("templates.json")
+        assert report.loaded("estimator.npz")
+        assert len(fresh.store) in (good_size, good_size + 1)
+        assert isinstance(fresh.estimator.model, DeepIndexEstimator)
+
+    def test_every_kill_point_leaves_loadable_state(
+        self, people_db, tmp_path
+    ):
+        """Exhaustive: kill the save at each checkpoint.io visit."""
+        advisor = trained_advisor(people_db)
+        advisor.save_state(tmp_path)
+        for visit in (1, 2, 3):
+            people_db.faults = FaultPlan(seed=0).add(
+                "checkpoint.io", schedule=[visit]
+            ).injector()
+            try:
+                advisor.save_state(tmp_path)
+            except FaultError:
+                pass
+            finally:
+                people_db.faults = None
+            fresh = AutoIndexAdvisor(people_db)
+            report = fresh.load_state(tmp_path)
+            assert report.loaded("templates.json"), visit
+            assert report.loaded("estimator.npz"), visit
+
+
+class TestLowLevel:
+    def test_write_checkpoint_returns_manifest(self, tmp_path):
+        manifest = write_checkpoint(
+            tmp_path, {"blob.json": json.dumps({"a": 1}).encode()}
+        )
+        assert manifest["components"]["blob.json"]["bytes"] > 0
+        on_disk = json.loads((tmp_path / "manifest.json").read_text())
+        assert on_disk == manifest

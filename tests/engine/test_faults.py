@@ -1,0 +1,219 @@
+"""Deterministic fault-injection framework unit tests."""
+
+import pytest
+
+from repro.engine.faults import (
+    FAULT_POINTS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    PERMANENT,
+    PermanentFault,
+    TRANSIENT,
+    TransientFault,
+    VirtualClock,
+    backoff_delay,
+    backoff_schedule,
+    check,
+)
+
+
+def fires(injector: FaultInjector, point: str, visits: int):
+    """Visit a point repeatedly; return the visit ordinals that fired.
+
+    Ordinals are the injector's own (global) visit coordinates, so
+    they keep counting across earlier suppressed visits.
+    """
+    out = []
+    for _ in range(visits):
+        try:
+            injector.check(point)
+        except FaultError as exc:
+            assert exc.point == point
+            out.append(exc.visit)
+    return out
+
+
+class TestFaultPlan:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultPlan().add("nope.such.point", probability=0.5)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan().add("index.build", probability=1.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultPlan().add("index.build", probability=0.1, kind="weird")
+
+    def test_chaos_covers_all_points(self):
+        plan = FaultPlan.chaos(seed=5, rate=0.3)
+        assert {r.point for r in plan.rules} == set(FAULT_POINTS)
+        assert all(r.probability == 0.3 for r in plan.rules)
+
+
+class TestDeterminism:
+    def test_same_seed_same_firing_sequence(self):
+        make = lambda: FaultPlan(seed=42).add(
+            "estimator.predict", probability=0.3
+        ).injector()
+        assert fires(make(), "estimator.predict", 200) == fires(
+            make(), "estimator.predict", 200
+        )
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1).add("planner.plan", probability=0.3)
+        b = FaultPlan(seed=2).add("planner.plan", probability=0.3)
+        assert fires(a.injector(), "planner.plan", 200) != fires(
+            b.injector(), "planner.plan", 200
+        )
+
+    def test_per_point_streams_compose(self):
+        """Adding a rule for one point never shifts another's draws."""
+        solo = FaultPlan(seed=9).add("index.build", probability=0.25)
+        both = FaultPlan(seed=9).add(
+            "index.build", probability=0.25
+        ).add("stats.refresh", probability=0.5)
+        a, b = solo.injector(), both.injector()
+        for _ in range(100):
+            # Interleave visits to the second point in one injector.
+            try:
+                b.check("stats.refresh")
+            except FaultError:
+                pass
+        out_a = fires(a, "index.build", 100)
+        out_b = fires(b, "index.build", 100)
+        assert out_a == out_b
+
+
+class TestRules:
+    def test_schedule_fires_on_exact_visits(self):
+        injector = FaultPlan(seed=0).add(
+            "parser.parse", schedule=[2, 5]
+        ).injector()
+        assert fires(injector, "parser.parse", 8) == [2, 5]
+
+    def test_probability_one_fires_always(self):
+        injector = FaultPlan(seed=0).add(
+            "index.build", probability=1.0
+        ).injector()
+        assert fires(injector, "index.build", 5) == [1, 2, 3, 4, 5]
+
+    def test_limit_caps_total_fires(self):
+        injector = FaultPlan(seed=0).add(
+            "index.build", probability=1.0, limit=2
+        ).injector()
+        assert fires(injector, "index.build", 10) == [1, 2]
+
+    def test_kinds_map_to_exception_types(self):
+        plan = FaultPlan(seed=0)
+        plan.add("index.build", schedule=[1], kind=PERMANENT)
+        plan.add("parser.parse", schedule=[1], kind=TRANSIENT)
+        injector = plan.injector()
+        with pytest.raises(PermanentFault):
+            injector.check("index.build")
+        with pytest.raises(TransientFault):
+            injector.check("parser.parse")
+
+    def test_unruled_points_never_fire(self):
+        injector = FaultPlan(seed=0).add(
+            "index.build", probability=1.0
+        ).injector()
+        for _ in range(50):
+            injector.check("planner.plan")
+        assert injector.fired.get("planner.plan", 0) == 0
+
+
+class TestSuppression:
+    def test_no_fires_while_suppressed(self):
+        injector = FaultPlan(seed=0).add(
+            "index.build", probability=1.0
+        ).injector()
+        with injector.suppressed():
+            for _ in range(10):
+                injector.check("index.build")
+        assert injector.total_fired() == 0
+        assert injector.visits["index.build"] == 10
+
+    def test_suppressed_visits_consume_no_draws(self):
+        """The random stream is untouched inside a suppressed block."""
+        make = lambda: FaultPlan(seed=7).add(
+            "estimator.predict", probability=0.4
+        ).injector()
+        plain, interrupted = make(), make()
+        with interrupted.suppressed():
+            for _ in range(25):
+                interrupted.check("estimator.predict")
+        # After suppression, the interrupted injector must replay the
+        # plain injector's sequence exactly (offset by visit number).
+        plain_fires = fires(plain, "estimator.predict", 100)
+        late_fires = fires(interrupted, "estimator.predict", 100)
+        assert [v - 25 for v in late_fires] == plain_fires[: len(late_fires)]
+
+    def test_nested_suppression(self):
+        injector = FaultPlan(seed=0).add(
+            "index.build", probability=1.0
+        ).injector()
+        with injector.suppressed():
+            with injector.suppressed():
+                injector.check("index.build")
+            injector.check("index.build")
+        with pytest.raises(FaultError):
+            injector.check("index.build")
+
+
+class TestModuleShim:
+    def test_none_injector_is_noop(self):
+        check(None, "index.build")  # must not raise
+
+    def test_delegates_to_injector(self):
+        injector = FaultPlan(seed=0).add(
+            "index.build", schedule=[1]
+        ).injector()
+        with pytest.raises(FaultError):
+            check(injector, "index.build")
+
+
+class TestStats:
+    def test_stats_report_visits_and_fires(self):
+        injector = FaultPlan(seed=0).add(
+            "index.build", schedule=[1, 3]
+        ).injector()
+        fires(injector, "index.build", 4)
+        assert injector.stats()["index.build"] == {
+            "visits": 4,
+            "fired": 2,
+        }
+        assert injector.total_fired() == 2
+
+
+class TestVirtualClock:
+    def test_sleep_advances_virtual_time_only(self):
+        clock = VirtualClock()
+        clock.sleep(1.5)
+        clock.sleep(0.5)
+        assert clock.now() == 2.0
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1)
+
+
+class TestBackoff:
+    def test_exponential_with_cap(self):
+        assert backoff_delay(0) == 0.01
+        assert backoff_delay(1) == 0.02
+        assert backoff_delay(2) == 0.04
+        assert backoff_delay(100) == 1.0  # capped
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay(-1)
+
+    def test_schedule_matches_delays(self):
+        assert list(backoff_schedule(3)) == [
+            backoff_delay(0),
+            backoff_delay(1),
+            backoff_delay(2),
+        ]
