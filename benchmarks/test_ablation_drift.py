@@ -12,7 +12,7 @@ import pytest
 
 from repro.bench.reporting import format_table
 from repro.core.advisor import AutoIndexAdvisor
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.workloads import EpidemicWorkload
 
 from benchmarks.conftest import cached
@@ -42,7 +42,7 @@ def run_drift():
         ("frozen history", _FrozenHistoryAdvisor),
     ):
         generator = EpidemicWorkload(people=8000)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         advisor = advisor_cls(db, mcts_iterations=50)
 

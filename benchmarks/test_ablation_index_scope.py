@@ -12,7 +12,7 @@ import random
 import pytest
 
 from repro.bench.reporting import format_table
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.index import IndexDef, IndexScope
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import table
@@ -24,7 +24,7 @@ PARTITIONS = 8
 
 
 def build_db():
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "events",

@@ -22,7 +22,7 @@ import pytest
 
 from repro.bench.harness import AdvisorKind, make_advisor
 from repro.bench.reporting import format_table
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import table
 
@@ -33,8 +33,8 @@ FACT_ROWS = 40000
 DECOY_ROWS = 9000
 
 
-def build_db() -> Database:
-    db = Database()
+def build_db() -> MemoryBackend:
+    db = MemoryBackend()
     db.create_table(
         table(
             "dim",

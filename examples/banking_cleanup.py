@@ -11,13 +11,13 @@ Run with::
     python examples/banking_cleanup.py
 """
 
-from repro import AutoIndexAdvisor, Database
+from repro import AutoIndexAdvisor, MemoryBackend
 from repro.workloads import BankingWorkload
 
 
 def main() -> None:
     generator = BankingWorkload()
-    db = Database()
+    db = MemoryBackend()
     print("building 144 tables + 263 manual indexes ...")
     generator.build(db)  # default config = the DBA's manual indexes
 

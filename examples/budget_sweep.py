@@ -16,7 +16,7 @@ Run with::
 
 import numpy as np
 
-from repro import AutoIndexAdvisor, Database, WhatIfCostModel
+from repro import AutoIndexAdvisor, MemoryBackend, WhatIfCostModel
 from repro.workloads import TpccWorkload
 
 
@@ -24,7 +24,7 @@ def sweep() -> None:
     print("== storage budget sweep ==")
     # Yardstick: the footprint of everything AutoIndex might build.
     probe_gen = TpccWorkload(scale=4, seed=11)
-    probe_db = Database()
+    probe_db = MemoryBackend()
     probe_gen.build(probe_db)
     probe = AutoIndexAdvisor(probe_db)
     for query in probe_gen.queries(600, seed=0):
@@ -43,7 +43,7 @@ def sweep() -> None:
         ("10%", int(footprint * 0.1)),
     ]:
         generator = TpccWorkload(scale=4, seed=11)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         advisor = AutoIndexAdvisor(
             db, storage_budget=budget, mcts_iterations=80
@@ -65,7 +65,7 @@ def sweep() -> None:
 def learned_estimator() -> None:
     print("\n== learned cost estimator ==")
     generator = TpccWorkload(scale=3, seed=11)
-    db = Database()
+    db = MemoryBackend()
     generator.build(db)
     advisor = AutoIndexAdvisor(db)
     for query in generator.queries(800, seed=0):

@@ -14,7 +14,7 @@ Run with::
     python examples/dynamic_epidemic.py
 """
 
-from repro import AutoIndexAdvisor, Database
+from repro import AutoIndexAdvisor, MemoryBackend
 from repro.workloads import EpidemicWorkload
 
 
@@ -39,7 +39,7 @@ def run_phase(db, advisor, name, queries):
 
 def main() -> None:
     generator = EpidemicWorkload(people=8000)
-    db = Database()
+    db = MemoryBackend()
     generator.build(db)
     advisor = AutoIndexAdvisor(db, mcts_iterations=60)
 

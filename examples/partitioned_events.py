@@ -14,12 +14,12 @@ Run with::
 
 import random
 
-from repro import AutoIndexAdvisor, ColumnType, Database, IndexDef, table
+from repro import AutoIndexAdvisor, ColumnType, MemoryBackend, IndexDef, table
 from repro.engine.index import IndexScope
 
 
 def main() -> None:
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "events",

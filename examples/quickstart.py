@@ -7,12 +7,12 @@ Run with::
 
 import random
 
-from repro import AutoIndexAdvisor, ColumnType, Database, table
+from repro import AutoIndexAdvisor, ColumnType, MemoryBackend, table
 
 
 def main() -> None:
     # 1. Build a database on the bundled engine substrate.
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "users",

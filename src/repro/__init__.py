@@ -4,11 +4,11 @@ substrate.
 
 Public API quick tour::
 
-    from repro import Database, AutoIndexAdvisor, IndexDef
+    from repro import AutoIndexAdvisor, IndexDef, create_backend
     from repro.workloads import TpccWorkload
 
     workload = TpccWorkload(scale=1)
-    db = Database()
+    db = create_backend("memory")   # or "sqlite"
     workload.build(db)
 
     advisor = AutoIndexAdvisor(db, storage_budget=50 * 1024 * 1024)
@@ -30,6 +30,13 @@ from repro.core.templates import TemplateStore
 from repro.engine.database import Database, ExecutionResult
 from repro.engine.index import IndexDef, IndexScope
 from repro.engine.schema import Column, ColumnType, TableSchema, table
+from repro.ports import (
+    MemoryBackend,
+    SqliteBackend,
+    TuningBackend,
+    available_backends,
+    create_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -45,10 +52,15 @@ __all__ = [
     "GreedyAdvisor",
     "IndexDef",
     "IndexScope",
+    "MemoryBackend",
     "QueryLevelAdvisor",
+    "SqliteBackend",
     "TableSchema",
     "TemplateStore",
+    "TuningBackend",
     "TuningReport",
     "WhatIfCostModel",
+    "available_backends",
+    "create_backend",
     "table",
 ]

@@ -2,15 +2,21 @@
 
 Enforces the package import DAG::
 
-    sql  ->  engine  ->  core  ->  bench
-                \\________ workloads _/
+    sql  ->  engine  ->  ports  ->  core  ->  bench
+                 \\_________ workloads _______/
 
 * ``sql`` imports nothing from the package (the grammar layer);
-* ``engine`` may import ``sql`` only — never ``core`` (the engine
-  must not know about tuning);
-* ``core`` may import ``engine`` and ``sql``;
-* ``workloads`` may import ``sql`` and ``engine`` (workload
-  generators build schemas/statements, not tuning logic);
+* ``engine`` may import ``sql`` only — never ``ports`` or ``core``
+  (the engine must not know about tuning or its own adapters);
+* ``ports`` may import ``engine`` and ``sql`` (adapters wrap the
+  engine; the protocol itself is import-light);
+* ``core`` may import ``ports``, ``engine``, and ``sql`` — but the
+  concrete engine facade (``repro.engine.database`` /
+  ``repro.engine.executor``) is off limits: the tuner speaks the
+  :class:`~repro.ports.backend.TuningBackend` protocol only (see
+  ``FORBIDDEN_CONCRETE``);
+* ``workloads`` may import ``sql``, ``engine``, and ``ports``
+  (generators build schemas/statements against the protocol);
 * ``bench`` may import everything, and **nothing imports bench**
   except ``__main__`` entry points and tests;
 * ``analysis`` is self-contained (stdlib + itself) so the linter can
@@ -33,11 +39,25 @@ from repro.analysis.core import KNOWN_LAYERS, Checker, ModuleInfo, Violation, re
 ALLOWED_IMPORTS: Dict[str, Set[str]] = {
     "sql": {"sql"},
     "engine": {"engine", "sql"},
-    "core": {"core", "engine", "sql"},
-    "workloads": {"workloads", "sql", "engine"},
-    "bench": {"bench", "core", "engine", "sql", "workloads", "analysis", ""},
+    "ports": {"ports", "engine", "sql"},
+    "core": {"core", "ports", "engine", "sql"},
+    "workloads": {"workloads", "sql", "engine", "ports"},
+    "bench": {
+        "bench", "core", "ports", "engine", "sql", "workloads",
+        "analysis", "",
+    },
     "analysis": {"analysis"},
-    "": {"sql", "engine", "core", "workloads", "analysis", ""},
+    "": {"sql", "engine", "ports", "core", "workloads", "analysis", ""},
+}
+
+#: importer layer -> fully-qualified modules it must not import even
+#: though the owning layer is allowed.  The tuner (``core``) may use
+#: ``engine`` value types (IndexDef, faults, metrics) but must reach
+#: the database only through the :mod:`repro.ports` protocol — a
+#: concrete import of the facade or the executor would silently
+#: re-couple the tuner to one backend.
+FORBIDDEN_CONCRETE: Dict[str, Set[str]] = {
+    "core": {"repro.engine.database", "repro.engine.executor"},
 }
 
 
@@ -59,6 +79,7 @@ class LayerChecker(Checker):
         self, module: ModuleInfo, layer: str
     ) -> Iterator[Violation]:
         allowed = ALLOWED_IMPORTS.get(layer)
+        forbidden = FORBIDDEN_CONCRETE.get(layer, set())
         for node in ast.walk(module.tree):
             targets: List[str] = []
             if isinstance(node, ast.Import):
@@ -78,6 +99,28 @@ class LayerChecker(Checker):
                     targets = [node.module]
             for target in targets:
                 if target != "repro" and not target.startswith("repro."):
+                    continue
+                # The forbidden-module rule sees both spellings:
+                # ``from repro.engine.database import Database`` and
+                # ``from repro.engine import database``.
+                spellings = {target}
+                if isinstance(node, ast.ImportFrom):
+                    spellings.update(
+                        f"{target}.{alias.name}" for alias in node.names
+                    )
+                hit = sorted(spellings & forbidden)
+                if hit:
+                    yield Violation(
+                        rule="layer",
+                        path=module.rel_path,
+                        line=node.lineno,
+                        message=(
+                            f"layer '{layer}' must not import the "
+                            f"concrete module '{hit[0]}': reach the "
+                            "database through the repro.ports "
+                            "TuningBackend protocol"
+                        ),
+                    )
                     continue
                 rest = target.split(".")[1:]
                 target_layer = (

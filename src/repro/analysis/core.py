@@ -59,6 +59,7 @@ class Violation:
 KNOWN_LAYERS = (
     "sql",
     "engine",
+    "ports",
     "core",
     "bench",
     "workloads",

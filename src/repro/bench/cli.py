@@ -19,6 +19,8 @@ import sys
 import time
 from typing import Callable, Dict, List
 
+from repro.ports.factory import available_backends
+
 # Each entry: experiment id -> (benchmarks module, compute callable
 # name, renderer description). The benchmarks modules own the
 # experiment logic; the CLI reuses them.
@@ -142,6 +144,17 @@ def run_perf(
     return 0
 
 
+def run_backend(backend: str, seed: int) -> int:
+    """Dispatch the backend demo (``--backend sqlite``)."""
+    from repro.bench.backends import render_backend_demo, run_backend_demo
+
+    print(f"=== backend demo: full tuning run on {backend!r} ===")
+    summary = run_backend_demo(backend, seed=seed)
+    for line in render_backend_demo(summary):
+        print("  " + line)
+    return 0
+
+
 def run_faults(
     seed: int, rate: float, rounds: int, kind: str, out: str
 ) -> int:
@@ -167,6 +180,11 @@ def main(argv: List[str] | None = None) -> int:
         "--perf",
         choices=["mcts"],
         help="run a performance benchmark instead of an experiment",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        help="run a full tuning demo on the chosen backend adapter",
     )
     parser.add_argument(
         "--faults",
@@ -224,9 +242,12 @@ def main(argv: List[str] | None = None) -> int:
         if args.rounds < 1:
             parser.error("--rounds must be >= 1")
         return run_perf(args.perf, args.iterations, args.rounds, args.out)
+    if args.backend:
+        return run_backend(args.backend, args.seed)
     if args.command is None:
         parser.error(
-            "a command is required unless --perf/--faults is given"
+            "a command is required unless --perf/--faults/--backend "
+            "is given"
         )
     if args.command == "list":
         list_experiments()

@@ -20,7 +20,8 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.advisor import AutoIndexAdvisor, TuningReport
 from repro.core.baselines import DefaultAdvisor, GreedyAdvisor, QueryLevelAdvisor
-from repro.engine.database import Database
+from repro.ports.backend import TuningBackend
+from repro.ports.factory import DEFAULT_BACKEND, create_backend
 from repro.workloads.base import Query, WorkloadGenerator
 
 
@@ -38,14 +39,19 @@ def prepare_database(
     generator: WorkloadGenerator,
     with_defaults: bool = True,
     faults=None,
-) -> Database:
-    """Fresh database with the generator's schema, data, and defaults.
+    backend: str = DEFAULT_BACKEND,
+) -> TuningBackend:
+    """Fresh backend with the generator's schema, data, and defaults.
+
+    ``backend`` selects the adapter (see
+    :func:`repro.ports.factory.create_backend`); every generator runs
+    unchanged on any of them because it only speaks the protocol.
 
     ``faults`` (a :class:`repro.engine.faults.FaultInjector`) is
     attached *after* the build so schema setup and data loading are
     never chaos-tested — faults target the tuning runtime.
     """
-    db = Database()
+    db = create_backend(backend)
     generator.build(db, with_defaults=with_defaults)
     if faults is not None:
         db.faults = faults
@@ -55,7 +61,7 @@ def prepare_database(
 
 def make_advisor(
     kind: AdvisorKind,
-    db: Database,
+    db: TuningBackend,
     storage_budget: Optional[int] = None,
     mcts_iterations: int = 80,
     seed: int = 17,
@@ -108,7 +114,7 @@ class RunStats:
 
 
 def run_queries(
-    db: Database,
+    db: TuningBackend,
     queries: Sequence[Query],
     advisor=None,
 ) -> RunStats:
@@ -142,7 +148,7 @@ class PerQueryResult:
         return out
 
 
-def run_per_query(db: Database, queries: Sequence[Query]) -> PerQueryResult:
+def run_per_query(db: TuningBackend, queries: Sequence[Query]) -> PerQueryResult:
     """Execute tagged queries, recording cost per tag."""
     result = PerQueryResult()
     for query in queries:
@@ -183,10 +189,13 @@ def run_advisor_experiment(
     seed: int = 0,
     mcts_iterations: int = 80,
     with_defaults: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> ExperimentResult:
     """The standard protocol: observe a training batch, tune once,
     then measure a held-out test batch."""
-    db = prepare_database(generator, with_defaults=with_defaults)
+    db = prepare_database(
+        generator, with_defaults=with_defaults, backend=backend
+    )
     advisor = make_advisor(
         kind, db, storage_budget=storage_budget,
         mcts_iterations=mcts_iterations,

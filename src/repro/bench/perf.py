@@ -43,7 +43,7 @@ def _build_workload(observe_queries: int):
     for query in generator.queries(observe_queries, seed=3):
         store.observe(query.sql, db.parse_statement(query.sql))
     templates = store.templates(top=120)
-    candidates = CandidateGenerator(db.catalog).generate(templates)
+    candidates = CandidateGenerator(db).generate(templates)
     return db, templates, [c.definition for c in candidates]
 
 

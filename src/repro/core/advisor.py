@@ -23,103 +23,26 @@ from __future__ import annotations
 
 import io
 import json
-from dataclasses import dataclass, field
+import random
 from typing import List, Optional, Sequence
 
 from repro.core import checkpoint
 from repro.core.candidates import CandidateGenerator
-from repro.core.changeset import IndexChangeSet
 from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
-from repro.core.estimator import (
-    BenefitEstimator,
-    DeepIndexEstimator,
-    EstimatorUnavailable,
+from repro.core.estimator import BenefitEstimator, DeepIndexEstimator
+from repro.core.mcts import MctsIndexSelector
+from repro.core.pipeline import (
+    TuningContext,
+    TuningPipeline,
+    TuningReport,
 )
-from repro.core.mcts import MctsIndexSelector, SearchResult
 from repro.core.templates import QueryTemplate, TemplateStore
-from repro.engine.database import Database
 from repro.engine.faults import FaultError
 from repro.engine.index import IndexDef
-from repro.engine.metrics import Stopwatch
+from repro.ports.backend import TuningBackend
 from repro.sql.lexer import SqlSyntaxError
 
-
-@dataclass
-class TuningReport:
-    """What one tuning round did and what it cost."""
-
-    created: List[IndexDef] = field(default_factory=list)
-    dropped: List[IndexDef] = field(default_factory=list)
-    estimated_benefit: float = 0.0
-    baseline_cost: float = 0.0
-    templates_used: int = 0
-    candidates_considered: int = 0
-    estimator_calls: int = 0
-    plans_computed: int = 0
-    cache_hit_rate: float = 0.0
-    statements_analyzed: int = 0
-    elapsed_seconds: float = 0.0
-    search: Optional[SearchResult] = None
-    skipped: bool = False
-    # Resilience counters for the round: estimator predict retries,
-    # model→what-if fallbacks, index changes undone (changeset
-    # rollback + observation-window auto-reverts), and whether the
-    # MCTS deadline cut the search short.
-    retries: int = 0
-    fallbacks: int = 0
-    rolled_back: int = 0
-    deadline_hit: bool = False
-    degraded: Optional[str] = None
-
-    @property
-    def changed(self) -> bool:
-        return bool(self.created or self.dropped)
-
-    def render(self) -> str:
-        """Human-readable one-round summary (for logs and examples)."""
-        if self.skipped:
-            if self.degraded:
-                return f"tuning skipped (degraded: {self.degraded})"
-            return "tuning skipped (no index problems detected)"
-        lines = []
-        if self.created:
-            lines.append(
-                "created: " + ", ".join(str(d) for d in self.created)
-            )
-        if self.dropped:
-            lines.append(
-                "dropped: " + ", ".join(str(d) for d in self.dropped)
-            )
-        if not self.changed:
-            lines.append("no index changes")
-        if self.baseline_cost > 0:
-            lines.append(
-                f"estimated benefit: {self.estimated_benefit:,.1f} "
-                f"of {self.baseline_cost:,.1f} "
-                f"({100 * self.estimated_benefit / self.baseline_cost:.1f}%)"
-            )
-        lines.append(
-            f"analysed {self.templates_used} templates, "
-            f"{self.candidates_considered} candidates, "
-            f"{self.estimator_calls} estimator calls "
-            f"({self.plans_computed} plans, "
-            f"{100 * self.cache_hit_rate:.0f}% cost-cache hits) "
-            f"in {self.elapsed_seconds:.2f}s"
-        )
-        resilience = []
-        if self.retries:
-            resilience.append(f"{self.retries} retries")
-        if self.fallbacks:
-            resilience.append(f"{self.fallbacks} estimator fallbacks")
-        if self.rolled_back:
-            resilience.append(f"{self.rolled_back} changes rolled back")
-        if self.deadline_hit:
-            resilience.append("search deadline hit")
-        if resilience:
-            lines.append("resilience: " + ", ".join(resilience))
-        if self.degraded:
-            lines.append(f"degraded: {self.degraded}")
-        return "\n".join(lines)
+__all__ = ["AutoIndexAdvisor", "TuningReport"]
 
 
 class AutoIndexAdvisor:
@@ -142,7 +65,7 @@ class AutoIndexAdvisor:
 
     def __init__(
         self,
-        db: Database,
+        db: TuningBackend,
         storage_budget: Optional[int] = None,
         template_capacity: int = 5000,
         selectivity_threshold: float = 1.0 / 3.0,
@@ -156,28 +79,38 @@ class AutoIndexAdvisor:
         delta_costing: bool = True,
         mcts_deadline_seconds: Optional[float] = None,
         mcts_max_evaluations: Optional[int] = None,
+        pipeline: Optional[TuningPipeline] = None,
     ):
         self.db = db
         self.storage_budget = storage_budget
         self.top_templates = top_templates
         self.use_templates = use_templates
         self.train_sample_rate = train_sample_rate
+        self.mcts_deadline_seconds = mcts_deadline_seconds
         self.store = TemplateStore(capacity=template_capacity)
         self.generator = CandidateGenerator(
-            db.catalog, selectivity_threshold=selectivity_threshold
+            db, selectivity_threshold=selectivity_threshold
         )
         self.estimator = BenefitEstimator(db)
+        # One seeded stream shared by the whole advisor; the context
+        # hands it to every stage so a round's randomness is a single
+        # reproducible sequence.
+        self.rng = random.Random(seed)
         self.selector = MctsIndexSelector(
             self.estimator,
             gamma=gamma,
             iterations=mcts_iterations,
             rollouts=rollouts,
             seed=seed,
+            rng=self.rng,
             delta_costing=delta_costing,
             deadline_seconds=mcts_deadline_seconds,
             max_evaluations=mcts_max_evaluations,
         )
         self.diagnosis = IndexDiagnosis(db, self.store, self.generator)
+        self.pipeline = (
+            pipeline if pipeline is not None else TuningPipeline()
+        )
         self.statements_analyzed = 0
         self.observe_failures = 0
         self._observed_since_training = 0
@@ -329,6 +262,29 @@ class AutoIndexAdvisor:
         """Primary-key / unique indexes are never dropped."""
         return [d for d in self.db.index_defs() if d.unique]
 
+    def make_context(
+        self,
+        force: bool = True,
+        trigger_threshold: float = 0.1,
+    ) -> TuningContext:
+        """Assemble the shared context for one tuning round."""
+        return TuningContext(
+            backend=self.db,
+            store=self.store,
+            generator=self.generator,
+            estimator=self.estimator,
+            selector=self.selector,
+            diagnosis=self.diagnosis,
+            rng=self.rng,
+            faults=getattr(self.db, "faults", None),
+            storage_budget=self.storage_budget,
+            deadline_seconds=self.mcts_deadline_seconds,
+            top_templates=self.top_templates,
+            protected=self.protected_indexes(),
+            force=force,
+            trigger_threshold=trigger_threshold,
+        )
+
     def tune(
         self,
         force: bool = True,
@@ -340,130 +296,20 @@ class AutoIndexAdvisor:
         module reports enough index problems (the paper's monitored
         trigger).
 
-        The round is guarded end to end: recently-applied indexes
-        whose observation window shows regression are reverted first;
-        an unusable estimator turns the round into a skipped report
-        with a ``degraded`` reason; and the apply itself is
-        transactional — a failure mid-sequence rolls the catalog back
-        to exactly the pre-apply configuration.
+        The round runs the staged pipeline (Observe → Diagnose →
+        Candidates → Search → Apply; see
+        :mod:`repro.core.pipeline`) and is guarded end to end:
+        recently-applied indexes whose observation window shows
+        regression are reverted first; an unusable estimator turns
+        the round into a skipped report with a ``degraded`` reason;
+        and the apply itself is transactional — a failure
+        mid-sequence rolls the catalog back to exactly the pre-apply
+        configuration.
         """
-        timer = Stopwatch()
-        calls_before = self.estimator.estimate_calls
-        plans_before = self.estimator.plans_computed
-        retries_before = self.estimator.retries
-        fallbacks_before = self.estimator.fallbacks
-        report = TuningReport()
-
-        # Revert pass: drop recently-applied indexes that regressed
-        # during their post-apply observation window.
-        reverted = self.diagnosis.check_applied()
-        for definition in reverted:
-            self.db.drop_index(definition)
-        if reverted:
-            self.estimator.clear_cache()
-        report.dropped.extend(reverted)
-        report.rolled_back += len(reverted)
-
-        if not force:
-            problems = self.diagnose()
-            if not problems.should_tune(trigger_threshold):
-                report.skipped = True
-                return self._finalize(
-                    report,
-                    timer,
-                    calls_before,
-                    plans_before,
-                    retries_before,
-                    fallbacks_before,
-                )
-
-        templates = self.store.templates(top=self.top_templates)
-        candidates = self.generator.generate(templates)
-        existing = self.db.index_defs()
-        protected = self.protected_indexes()
-
-        try:
-            result = self.selector.search(
-                existing=existing,
-                candidates=[c.definition for c in candidates],
-                templates=templates,
-                budget_bytes=self.storage_budget,
-                protected=protected,
-            )
-        except EstimatorUnavailable as exc:
-            # Degradation ladder exhausted: model retries, the
-            # what-if fallback, nothing left. Skip the round rather
-            # than crash the serving system.
-            report.skipped = True
-            report.degraded = str(exc)
-            return self._finalize(
-                report,
-                timer,
-                calls_before,
-                plans_before,
-                retries_before,
-                fallbacks_before,
-            )
-
-        changeset = IndexChangeSet(self.db)
-        try:
-            changeset.apply(
-                drops=result.removals, creates=result.additions
-            )
-        except Exception as exc:
-            # Any DDL failure (including injected index-build faults)
-            # must leave the catalog in exactly the before state.
-            undone = changeset.rollback()
-            report.rolled_back += undone
-            report.degraded = (
-                f"apply failed after {undone} changes, rolled back: {exc}"
-            )
-        else:
-            report.created = list(result.additions)
-            report.dropped.extend(result.removals)
-            self.diagnosis.register_applied(result.additions)
-            if result.additions or result.removals:
-                self.estimator.clear_cache()
-                self.db.reset_index_usage()
-
-        report.estimated_benefit = result.best_benefit
-        report.baseline_cost = result.baseline_cost
-        report.templates_used = len(templates)
-        report.candidates_considered = len(candidates)
-        report.cache_hit_rate = result.cache_stats["cost"].hit_rate
-        report.search = result
-        report.deadline_hit = result.deadline_hit
-        self.store.begin_tuning_window()
-        return self._finalize(
-            report,
-            timer,
-            calls_before,
-            plans_before,
-            retries_before,
-            fallbacks_before,
+        ctx = self.make_context(
+            force=force, trigger_threshold=trigger_threshold
         )
-
-    def _finalize(
-        self,
-        report: TuningReport,
-        timer: Stopwatch,
-        calls_before: int,
-        plans_before: int,
-        retries_before: int,
-        fallbacks_before: int,
-    ) -> TuningReport:
-        """Fill round-delta counters and record the report."""
-        report.estimator_calls = (
-            self.estimator.estimate_calls - calls_before
-        )
-        report.plans_computed = (
-            self.estimator.plans_computed - plans_before
-        )
-        report.retries = self.estimator.retries - retries_before
-        report.fallbacks = self.estimator.fallbacks - fallbacks_before
-        if report.fallbacks and report.degraded is None:
-            report.degraded = self.estimator.degraded_reason
-        report.statements_analyzed = self.statements_analyzed
-        report.elapsed_seconds = timer.elapsed()
+        self.pipeline.run(ctx)
+        report = ctx.finalize(self.statements_analyzed)
         self.tuning_history.append(report)
         return report

@@ -21,7 +21,7 @@ from repro.core.advisor import AutoIndexAdvisor, TuningReport
 from repro.core.candidates import CandidateGenerator
 from repro.core.estimator import BenefitEstimator
 from repro.core.templates import QueryTemplate
-from repro.engine.database import Database
+from repro.ports.backend import TuningBackend
 from repro.engine.index import IndexDef
 from repro.engine.metrics import Stopwatch
 from repro.sql import ast
@@ -32,7 +32,7 @@ class DefaultAdvisor:
 
     name = "Default"
 
-    def __init__(self, db: Database):
+    def __init__(self, db: TuningBackend):
         self.db = db
         self.statements_analyzed = 0
 
@@ -64,7 +64,7 @@ class GreedyAdvisor:
 
     def __init__(
         self,
-        db: Database,
+        db: TuningBackend,
         storage_budget: Optional[int] = None,
         max_candidates: int = 40,
         selectivity_threshold: float = 1.0 / 3.0,
@@ -75,7 +75,7 @@ class GreedyAdvisor:
         self.max_candidates = max_candidates
         self.marginal = marginal
         self.generator = CandidateGenerator(
-            db.catalog, selectivity_threshold=selectivity_threshold
+            db, selectivity_threshold=selectivity_threshold
         )
         self.estimator = BenefitEstimator(db)
         # Greedy analyses every query individually: dedupe only on the
@@ -237,6 +237,6 @@ class QueryLevelAdvisor(AutoIndexAdvisor):
 
     name = "QueryLevel"
 
-    def __init__(self, db: Database, **kwargs):
+    def __init__(self, db: TuningBackend, **kwargs):
         kwargs["use_templates"] = False
         super().__init__(db, **kwargs)

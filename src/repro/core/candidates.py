@@ -26,9 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef, IndexScope
 from repro.core.templates import QueryTemplate
+from repro.ports.backend import TuningBackend
 from repro.sql import ast
 from repro.sql.predicates import (
     FilterPredicate,
@@ -57,11 +57,11 @@ class CandidateGenerator:
 
     def __init__(
         self,
-        catalog: Catalog,
+        backend: TuningBackend,
         selectivity_threshold: float = DEFAULT_SELECTIVITY_THRESHOLD,
         max_columns: int = 4,
     ):
-        self.catalog = catalog
+        self.backend = backend
         self.selectivity_threshold = selectivity_threshold
         self.max_columns = max_columns
 
@@ -112,7 +112,7 @@ class CandidateGenerator:
         (paper, Section III)."""
         result = list(candidates)
         for definition in candidates:
-            schema = self.catalog.table(definition.table).schema
+            schema = self.backend.schema(definition.table)
             if schema.is_partitioned and definition.scope is IndexScope.GLOBAL:
                 result.append(
                     IndexDef(
@@ -154,7 +154,7 @@ class CandidateGenerator:
     def _from_where(
         self, table: str, where: Optional[ast.Expr], out: List[IndexDef]
     ) -> None:
-        if where is None or not self.catalog.has_table(table):
+        if where is None or not self.backend.has_table(table):
             return
         self._from_predicate(where, {table: table}, out)
 
@@ -194,8 +194,8 @@ class CandidateGenerator:
         count, first — ties broken by appearance order), then at most
         one range column. Gated on estimated matching fraction.
         """
-        stats = self.catalog.stats(table)
-        schema = self.catalog.table(table).schema
+        stats = self.backend.table_stats(table)
+        schema = self.backend.schema(table)
 
         eq_cols: List[str] = []
         range_cols: List[Tuple[str, FilterPredicate]] = []
@@ -263,13 +263,13 @@ class CandidateGenerator:
         right_table = self._table_of(join.right, binding_tables)
         if left_table is None or right_table is None:
             return
-        left_rows = self.catalog.stats(left_table).row_count
-        right_rows = self.catalog.stats(right_table).row_count
+        left_rows = self.backend.table_stats(left_table).row_count
+        right_rows = self.backend.table_stats(right_table).row_count
         if left_rows <= right_rows:
             driven_table, driven_col = left_table, join.left.column
         else:
             driven_table, driven_col = right_table, join.right.column
-        schema = self.catalog.table(driven_table).schema
+        schema = self.backend.schema(driven_table)
         if schema.has_column(driven_col):
             out.append(
                 IndexDef(table=driven_table, columns=(driven_col,))
@@ -281,7 +281,7 @@ class CandidateGenerator:
             if driven_table == left_table
             else (left_table, join.left.column)
         )
-        other_schema = self.catalog.table(other_table).schema
+        other_schema = self.backend.schema(other_table)
         if other_schema.has_column(other_col):
             out.append(IndexDef(table=other_table, columns=(other_col,)))
 
@@ -298,7 +298,7 @@ class CandidateGenerator:
         table = self._table_of(expr, binding_tables)
         if table is None:
             return
-        stats = self.catalog.stats(table)
+        stats = self.backend.table_stats(table)
         col_stats = stats.column(expr.column)
         if grouping and stats.row_count > 0:
             # Grouping a unique column is a no-op (paper: "the columns
@@ -335,9 +335,7 @@ class CandidateGenerator:
         self, candidates: List[CandidateIndex]
     ) -> List[CandidateIndex]:
         """Remove candidates subsumed by an already-built index."""
-        existing = [
-            ix.definition for ix in self.catalog.real_indexes()
-        ]
+        existing = self.backend.index_defs()
         result = []
         for candidate in candidates:
             if any(
@@ -357,7 +355,7 @@ class CandidateGenerator:
         """binding name → base table name (derived tables excluded)."""
         bindings: Dict[str, str] = {}
         for src in select.sources:
-            if isinstance(src, ast.TableRef) and self.catalog.has_table(
+            if isinstance(src, ast.TableRef) and self.backend.has_table(
                 src.name
             ):
                 bindings[src.binding] = src.name
@@ -371,7 +369,7 @@ class CandidateGenerator:
         owners = [
             table
             for table in binding_tables.values()
-            if self.catalog.table(table).schema.has_column(ref.column)
+            if self.backend.schema(table).has_column(ref.column)
         ]
         if len(owners) == 1:
             return owners[0]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.engine.database import Database
+from repro.ports.backend import TuningBackend
 from repro.engine.index import IndexDef
 
 
@@ -35,7 +35,7 @@ class ChangeSetError(RuntimeError):
 class IndexChangeSet:
     """One transactional batch of index drops and creates."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: TuningBackend):
         self.db = db
         self.snapshot: List[IndexDef] = db.index_defs()
         self._applied: List[Tuple[str, IndexDef]] = []

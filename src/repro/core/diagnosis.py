@@ -22,7 +22,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.candidates import CandidateGenerator
 from repro.core.templates import TemplateStore
-from repro.engine.database import Database
+from repro.ports.backend import TuningBackend
 from repro.engine.index import IndexDef
 
 
@@ -64,7 +64,7 @@ class IndexDiagnosis:
 
     def __init__(
         self,
-        db: Database,
+        db: TuningBackend,
         store: TemplateStore,
         generator: CandidateGenerator,
         min_observations: int = 50,

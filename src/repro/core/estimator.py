@@ -26,7 +26,6 @@ from repro.core.features import (
     referenced_tables,
 )
 from repro.core.templates import QueryTemplate
-from repro.engine.database import Database
 from repro.engine.faults import (
     FaultError,
     PermanentFault,
@@ -36,6 +35,7 @@ from repro.engine.faults import (
 )
 from repro.engine.index import IndexDef
 from repro.engine.metrics import CacheStats, LruCache
+from repro.ports.backend import TuningBackend
 from repro.sql import ast
 from repro.sql.lexer import SqlSyntaxError
 
@@ -260,14 +260,14 @@ class BenefitEstimator:
 
     def __init__(
         self,
-        db: Database,
+        backend: TuningBackend,
         model=None,
         cache_size: int = 50_000,
         feature_cache_size: int = 50_000,
         max_predict_retries: int = 3,
         clock: Optional[VirtualClock] = None,
     ):
-        self.db = db
+        self.backend = backend
         self.model = model if model is not None else WhatIfCostModel()
         self.history: List[HistorySample] = []
         self._cache = LruCache(cache_size)
@@ -275,11 +275,11 @@ class BenefitEstimator:
         self._tables_cache: Dict[str, Tuple[str, ...]] = {}
         self._sample_cache = LruCache(cache_size)
         self._inverted_cache = LruCache(8)
-        self._catalog_version = db.catalog.version
+        self._catalog_version = backend.catalog_version()
         self.estimate_calls = 0  # model predictions (cost-tier misses)
         self.plans_computed = 0  # planner invocations (feature misses)
         # Resilience (the degradation ladder; see _predict).
-        self.faults = getattr(db, "faults", None)
+        self.faults = getattr(backend, "faults", None)
         self.max_predict_retries = max_predict_retries
         self.clock = clock if clock is not None else VirtualClock()
         self.retries = 0            # transient predict faults retried
@@ -342,9 +342,14 @@ class BenefitEstimator:
         # the demoted model must not mix with fallback predictions.
         self._cache.clear()
 
+    @property
+    def db(self) -> TuningBackend:
+        """Backward-compatible alias for :attr:`backend`."""
+        return self.backend
+
     def _check_version(self) -> None:
         """Flush both tiers if the database changed underneath us."""
-        version = self.db.catalog.version
+        version = self.backend.catalog_version()
         if version != self._catalog_version:
             self._cache.clear()
             self._feature_cache.clear()
@@ -402,7 +407,7 @@ class BenefitEstimator:
         attempts = 0
         while True:
             try:
-                return compute_features(self.db, statement, relevant)
+                return compute_features(self.backend, statement, relevant)
             except TransientFault:
                 if attempts < self.max_predict_retries:
                     attempts += 1
@@ -424,7 +429,7 @@ class BenefitEstimator:
         cached = self._sample_cache.get(template.fingerprint)
         if cached is None:
             try:
-                cached = self.db.parse_statement(template.sample_sql)
+                cached = self.backend.parse_statement(template.sample_sql)
             except (SqlSyntaxError, FaultError):
                 # Unparsable (or fault-injected) sample: fall back to
                 # the placeholder form. Counted, not swallowed — a
@@ -654,7 +659,7 @@ class BenefitEstimator:
         config: Optional[Sequence[IndexDef]] = None,
     ) -> None:
         """Log one (features, measured cost) pair for later training."""
-        features = compute_features(self.db, statement, config)
+        features = compute_features(self.backend, statement, config)
         self.history.append(
             HistorySample(features=features, actual_cost=actual_cost)
         )

@@ -11,20 +11,21 @@ For one statement under one index configuration we compute:
 * ``is_write`` / ``num_affected_indexes`` — auxiliary features that
   help the regression separate the regimes.
 
-All features are what-if quantities: nothing is executed, hypothetical
-indexes are costed from estimated B+Tree shapes.
+All features are what-if quantities answered by the backend's
+``whatif_cost``: nothing is executed, hypothetical indexes are costed
+from estimated B+Tree shapes, and any :class:`TuningBackend` can
+supply them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.database import Database
 from repro.engine.index import IndexDef
-from repro.engine.plan import DeletePlan, InsertPlan, PlanNode, UpdatePlan
+from repro.ports.backend import TuningBackend
 from repro.sql import ast
 
 FEATURE_NAMES = (
@@ -71,79 +72,19 @@ class CostFeatures:
 
 
 def compute_features(
-    db: Database,
+    backend: TuningBackend,
     statement: ast.Statement,
     config: Optional[Sequence[IndexDef]] = None,
 ) -> CostFeatures:
     """Compute the feature vector for ``statement`` under ``config``."""
-    est_cost, plan = db.estimate_cost(statement, config)
-    io, cpu, affected = _maintenance_of_plan(db, plan, config)
-    data = max(est_cost - io - cpu, 0.0)
+    whatif = backend.whatif_cost(statement, config)
     return CostFeatures(
-        data_cost=data,
-        io_cost=io,
-        cpu_cost=cpu,
-        is_write=isinstance(plan, (InsertPlan, UpdatePlan, DeletePlan)),
-        num_affected_indexes=affected,
+        data_cost=whatif.data_cost,
+        io_cost=whatif.maintenance_io,
+        cpu_cost=whatif.maintenance_cpu,
+        is_write=whatif.is_write,
+        num_affected_indexes=whatif.num_affected_indexes,
     )
-
-
-def _maintenance_of_plan(
-    db: Database,
-    plan: PlanNode,
-    config: Optional[Sequence[IndexDef]],
-) -> Tuple[float, float, int]:
-    """Maintenance (io, cpu, #affected_indexes) charged by a write plan."""
-    if isinstance(plan, InsertPlan):
-        table = plan.table
-        changed: Optional[Set[str]] = None
-        rows = max(plan.est_rows, 1.0)
-    elif isinstance(plan, UpdatePlan):
-        table = plan.table
-        changed = {a.column for a in plan.assignments}
-        rows = max(plan.est_rows, 0.0)
-    else:
-        return 0.0, 0.0, 0
-    affected = _affected_indexes(db, table, changed, config)
-    if not affected:
-        return 0.0, 0.0, 0
-    _with_whatif(db, config)
-    try:
-        io, cpu = db.planner.maintenance_components_per_row(table, changed)
-    finally:
-        if config is not None:
-            db.catalog.clear_whatif()
-    return io * rows, cpu * rows, len(affected)
-
-
-def _affected_indexes(
-    db: Database,
-    table: str,
-    changed: Optional[Set[str]],
-    config: Optional[Sequence[IndexDef]],
-) -> List[IndexDef]:
-    if config is None:
-        defs = [
-            ix.definition
-            for ix in db.catalog.real_indexes(table)
-        ]
-    else:
-        defs = [d for d in config if d.table == table]
-    if changed is None:
-        return defs
-    return [d for d in defs if set(d.columns) & changed]
-
-
-def _with_whatif(
-    db: Database, config: Optional[Sequence[IndexDef]]
-) -> None:
-    if config is None:
-        return
-    real = {d.key: d for d in db.catalog.real_index_defs()}
-    wanted = {d.key: d for d in config}
-    hypothetical = [d for key, d in wanted.items() if key not in real]
-    masked = [d for key, d in real.items() if key not in wanted]
-    db.catalog.set_whatif(hypothetical, masked)
 
 
 def referenced_tables(statement: ast.Statement) -> Tuple[str, ...]:

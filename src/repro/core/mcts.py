@@ -300,7 +300,7 @@ class MctsIndexSelector:
                 c.key
                 for c in self._candidates
                 if self._budget is None
-                or self.estimator.db.index_size_bytes(c) <= self._budget
+                or self.estimator.backend.index_size_bytes(c) <= self._budget
             }
             pruned_union = self._fit_to_budget(
                 self._prune(frozenset(union))
@@ -420,7 +420,7 @@ class MctsIndexSelector:
             if candidate.key in config:
                 continue
             if self._budget is not None:
-                extra = self.estimator.db.index_size_bytes(candidate)
+                extra = self.estimator.backend.index_size_bytes(candidate)
                 if size + extra > self._budget:
                     continue
             actions.append(Action(kind="add", index=candidate))
@@ -487,7 +487,7 @@ class MctsIndexSelector:
                 break
             if self._budget is not None:
                 size = self._config_size(frozenset(current))
-                extra = self.estimator.db.index_size_bytes(candidate)
+                extra = self.estimator.backend.index_size_bytes(candidate)
                 if size + extra > self._budget:
                     continue
             current.add(candidate.key)
@@ -591,7 +591,7 @@ class MctsIndexSelector:
                     frozen - {key}, (frozen, base_costs)
                 )
                 loss = max(without_cost - base_cost, 0.0)
-                size = self.estimator.db.index_size_bytes(
+                size = self.estimator.backend.index_size_bytes(
                     self._universe[key]
                 )
                 ratio = loss / max(size, 1)
@@ -624,7 +624,7 @@ class MctsIndexSelector:
             for candidate in self._candidates:
                 if candidate.key in current:
                     continue
-                extra = self.estimator.db.index_size_bytes(candidate)
+                extra = self.estimator.backend.index_size_bytes(candidate)
                 if size + extra > self._budget:
                     continue
                 with_cost, _ = self._cost_of(
@@ -685,5 +685,5 @@ class MctsIndexSelector:
         for key in config:
             if key in self._protected:
                 continue
-            total += self.estimator.db.index_size_bytes(self._universe[key])
+            total += self.estimator.backend.index_size_bytes(self._universe[key])
         return total

@@ -1,0 +1,328 @@
+"""The staged tuning pipeline: Observe → Diagnose → Candidates → Search → Apply.
+
+One tuning round used to be a single monolithic ``tune()`` method;
+here it is decomposed into explicit, composable stages sharing a
+:class:`TuningContext`. The context carries everything a round needs —
+the backend, the advisor's components, the seeded rng, the fault
+plan, the storage budget, the search deadline, and the resilience
+counters — so stages stay stateless, can be reordered or replaced in
+tests, and per-shard sessions can later run whole pipelines
+concurrently, one context each.
+
+Stage contract: ``run(ctx)`` mutates the context (and the report
+inside it) and may set ``ctx.done = True`` to short-circuit the rest
+of the round; the pipeline always leaves finalisation (round-delta
+counters, history) to the caller via :meth:`TuningContext.finalize`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.candidates import CandidateGenerator, CandidateIndex
+from repro.core.changeset import IndexChangeSet
+from repro.core.diagnosis import IndexDiagnosis
+from repro.core.estimator import BenefitEstimator, EstimatorUnavailable
+from repro.core.mcts import MctsIndexSelector, SearchResult
+from repro.core.templates import QueryTemplate, TemplateStore
+from repro.engine.faults import FaultInjector
+from repro.engine.index import IndexDef
+from repro.engine.metrics import Stopwatch
+from repro.ports.backend import TuningBackend
+
+
+@dataclass
+class TuningReport:
+    """What one tuning round did and what it cost."""
+
+    created: List[IndexDef] = field(default_factory=list)
+    dropped: List[IndexDef] = field(default_factory=list)
+    estimated_benefit: float = 0.0
+    baseline_cost: float = 0.0
+    templates_used: int = 0
+    candidates_considered: int = 0
+    estimator_calls: int = 0
+    plans_computed: int = 0
+    cache_hit_rate: float = 0.0
+    statements_analyzed: int = 0
+    elapsed_seconds: float = 0.0
+    search: Optional[SearchResult] = None
+    skipped: bool = False
+    # Resilience counters for the round: estimator predict retries,
+    # model→what-if fallbacks, index changes undone (changeset
+    # rollback + observation-window auto-reverts), and whether the
+    # MCTS deadline cut the search short.
+    retries: int = 0
+    fallbacks: int = 0
+    rolled_back: int = 0
+    deadline_hit: bool = False
+    degraded: Optional[str] = None
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.created or self.dropped)
+
+    def render(self) -> str:
+        """Human-readable one-round summary (for logs and examples)."""
+        if self.skipped:
+            if self.degraded:
+                return f"tuning skipped (degraded: {self.degraded})"
+            return "tuning skipped (no index problems detected)"
+        lines = []
+        if self.created:
+            lines.append(
+                "created: " + ", ".join(str(d) for d in self.created)
+            )
+        if self.dropped:
+            lines.append(
+                "dropped: " + ", ".join(str(d) for d in self.dropped)
+            )
+        if not self.changed:
+            lines.append("no index changes")
+        if self.baseline_cost > 0:
+            lines.append(
+                f"estimated benefit: {self.estimated_benefit:,.1f} "
+                f"of {self.baseline_cost:,.1f} "
+                f"({100 * self.estimated_benefit / self.baseline_cost:.1f}%)"
+            )
+        lines.append(
+            f"analysed {self.templates_used} templates, "
+            f"{self.candidates_considered} candidates, "
+            f"{self.estimator_calls} estimator calls "
+            f"({self.plans_computed} plans, "
+            f"{100 * self.cache_hit_rate:.0f}% cost-cache hits) "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+        resilience = []
+        if self.retries:
+            resilience.append(f"{self.retries} retries")
+        if self.fallbacks:
+            resilience.append(f"{self.fallbacks} estimator fallbacks")
+        if self.rolled_back:
+            resilience.append(f"{self.rolled_back} changes rolled back")
+        if self.deadline_hit:
+            resilience.append("search deadline hit")
+        if resilience:
+            lines.append("resilience: " + ", ".join(resilience))
+        if self.degraded:
+            lines.append(f"degraded: {self.degraded}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Estimator counters at round start (deltas fill the report)."""
+
+    estimate_calls: int = 0
+    plans_computed: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+
+    @classmethod
+    def of(cls, estimator: BenefitEstimator) -> "CounterSnapshot":
+        return cls(
+            estimate_calls=estimator.estimate_calls,
+            plans_computed=estimator.plans_computed,
+            retries=estimator.retries,
+            fallbacks=estimator.fallbacks,
+        )
+
+
+@dataclass
+class TuningContext:
+    """Everything one tuning round shares across its stages.
+
+    Components (backend, template store, generator, estimator,
+    selector, diagnosis) are references to the advisor's long-lived
+    objects; the round-scoped state — report, timer, counter
+    snapshot, intermediate stage products — lives only here, which is
+    what lets several contexts run pipelines side by side later.
+    """
+
+    # Long-lived components.
+    backend: TuningBackend
+    store: TemplateStore
+    generator: CandidateGenerator
+    estimator: BenefitEstimator
+    selector: MctsIndexSelector
+    diagnosis: IndexDiagnosis
+    # Round configuration: randomness, faults, budget, deadline.
+    rng: random.Random = field(default_factory=lambda: random.Random(17))
+    faults: Optional[FaultInjector] = None
+    storage_budget: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    top_templates: int = 120
+    protected: List[IndexDef] = field(default_factory=list)
+    force: bool = True
+    trigger_threshold: float = 0.1
+    # Round state.
+    report: TuningReport = field(default_factory=TuningReport)
+    timer: Stopwatch = field(default_factory=Stopwatch)
+    counters: Optional[CounterSnapshot] = None
+    templates: Sequence[QueryTemplate] = ()
+    candidates: Sequence[CandidateIndex] = ()
+    existing: List[IndexDef] = field(default_factory=list)
+    result: Optional[SearchResult] = None
+    done: bool = False
+
+    def __post_init__(self) -> None:
+        if self.counters is None:
+            self.counters = CounterSnapshot.of(self.estimator)
+
+    def finalize(self, statements_analyzed: int = 0) -> TuningReport:
+        """Fill round-delta counters; returns the finished report."""
+        report = self.report
+        counters = self.counters
+        report.estimator_calls = (
+            self.estimator.estimate_calls - counters.estimate_calls
+        )
+        report.plans_computed = (
+            self.estimator.plans_computed - counters.plans_computed
+        )
+        report.retries = self.estimator.retries - counters.retries
+        report.fallbacks = self.estimator.fallbacks - counters.fallbacks
+        if report.fallbacks and report.degraded is None:
+            report.degraded = self.estimator.degraded_reason
+        report.statements_analyzed = statements_analyzed
+        report.elapsed_seconds = self.timer.elapsed()
+        return report
+
+
+class ObserveStage:
+    """Settle the observation window before planning anything new.
+
+    Recently-applied indexes whose post-apply window shows regression
+    are reverted (the paper's guarded-apply loop), then the round's
+    working set of templates is pulled from SQL2Template.
+    """
+
+    name = "observe"
+
+    def run(self, ctx: TuningContext) -> None:
+        reverted = ctx.diagnosis.check_applied()
+        for definition in reverted:
+            ctx.backend.drop_index(definition)
+        if reverted:
+            ctx.estimator.clear_cache()
+        ctx.report.dropped.extend(reverted)
+        ctx.report.rolled_back += len(reverted)
+        ctx.templates = ctx.store.templates(top=ctx.top_templates)
+
+
+class DiagnoseStage:
+    """The monitored trigger: skip the round unless problems warrant it."""
+
+    name = "diagnose"
+
+    def run(self, ctx: TuningContext) -> None:
+        if ctx.force:
+            return
+        problems = ctx.diagnosis.diagnose(
+            protected=ctx.protected, top_templates=ctx.top_templates
+        )
+        if not problems.should_tune(ctx.trigger_threshold):
+            ctx.report.skipped = True
+            ctx.done = True
+
+
+class CandidateStage:
+    """Template-driven candidate generation plus the current index set."""
+
+    name = "candidates"
+
+    def run(self, ctx: TuningContext) -> None:
+        ctx.candidates = ctx.generator.generate(ctx.templates)
+        ctx.existing = ctx.backend.index_defs()
+
+
+class SearchStage:
+    """MCTS over add/remove actions under the storage budget.
+
+    An estimator whose degradation ladder is exhausted turns the
+    round into a skipped report instead of an exception.
+    """
+
+    name = "search"
+
+    def run(self, ctx: TuningContext) -> None:
+        try:
+            ctx.result = ctx.selector.search(
+                existing=ctx.existing,
+                candidates=[c.definition for c in ctx.candidates],
+                templates=ctx.templates,
+                budget_bytes=ctx.storage_budget,
+                protected=ctx.protected,
+            )
+        except EstimatorUnavailable as exc:
+            ctx.report.skipped = True
+            ctx.report.degraded = str(exc)
+            ctx.done = True
+
+
+class ApplyStage:
+    """Transactional DDL apply with full rollback on mid-apply failure."""
+
+    name = "apply"
+
+    def run(self, ctx: TuningContext) -> None:
+        result = ctx.result
+        report = ctx.report
+        assert result is not None, "SearchStage must run before ApplyStage"
+        changeset = IndexChangeSet(ctx.backend)
+        try:
+            changeset.apply(
+                drops=result.removals, creates=result.additions
+            )
+        except Exception as exc:
+            # Any DDL failure (including injected index-build faults)
+            # must leave the catalog in exactly the before state.
+            undone = changeset.rollback()
+            report.rolled_back += undone
+            report.degraded = (
+                f"apply failed after {undone} changes, rolled back: {exc}"
+            )
+        else:
+            report.created = list(result.additions)
+            report.dropped.extend(result.removals)
+            ctx.diagnosis.register_applied(result.additions)
+            if result.additions or result.removals:
+                ctx.estimator.clear_cache()
+                ctx.backend.reset_index_usage()
+
+        report.estimated_benefit = result.best_benefit
+        report.baseline_cost = result.baseline_cost
+        report.templates_used = len(ctx.templates)
+        report.candidates_considered = len(ctx.candidates)
+        report.cache_hit_rate = result.cache_stats["cost"].hit_rate
+        report.search = result
+        report.deadline_hit = result.deadline_hit
+        ctx.store.begin_tuning_window()
+
+
+def default_stages() -> List:
+    """The paper's round, in order."""
+    return [
+        ObserveStage(),
+        DiagnoseStage(),
+        CandidateStage(),
+        SearchStage(),
+        ApplyStage(),
+    ]
+
+
+class TuningPipeline:
+    """Run stages in order, stopping early when a stage ends the round."""
+
+    def __init__(self, stages: Optional[Sequence] = None):
+        self.stages = (
+            list(stages) if stages is not None else default_stages()
+        )
+
+    def run(self, ctx: TuningContext) -> TuningContext:
+        for stage in self.stages:
+            if ctx.done:
+                break
+            stage.run(ctx)
+        return ctx

@@ -6,17 +6,18 @@ instance the paper deploys AutoIndex against:
 * ``execute(sql)`` parses, plans, and runs a statement, returning rows
   plus the deterministic execution cost;
 * ``create_index`` / ``drop_index`` materialise real B+Trees;
-* ``estimate_cost(sql, config)`` is the hypopg-style what-if API —
-  cost a statement under an arbitrary index configuration without
-  building anything;
 * per-index usage metrics and a workload monitor feed AutoIndex's
   diagnosis module.
+
+The hypopg-style what-if API lives one layer up, on the ports
+boundary (``repro.ports``): the tuner speaks ``TuningBackend``, and
+``MemoryBackend`` adapts this facade to it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostParams, CostTracker, DEFAULT_PARAMS
@@ -338,89 +339,6 @@ class Database:
         plan = self.planner.plan(select)
         executor = Executor(self.catalog, self.params, tracker)
         return executor.run_select(plan)
-
-    # ------------------------------------------------------------------
-    # what-if costing (hypopg-style)
-    # ------------------------------------------------------------------
-
-    def estimate_cost(
-        self,
-        statement: Union[str, ast.Statement],
-        config: Optional[Sequence[IndexDef]] = None,
-    ) -> Tuple[float, PlanNode]:
-        """Optimizer cost of a statement under an index configuration.
-
-        ``config`` is the complete index set to assume (real indexes
-        not in the config are masked; config entries not built are
-        added hypothetically). ``None`` means the current real set.
-        Nothing is executed.
-        """
-        if isinstance(statement, str):
-            statement = self.parse_statement(statement)
-        statement = self._strip_placeholders(statement)
-        if config is not None:
-            real = {d.key: d for d in self.catalog.real_index_defs()}
-            wanted = {d.key: d for d in config}
-            hypothetical = [
-                d for key, d in wanted.items() if key not in real
-            ]
-            masked = [d for key, d in real.items() if key not in wanted]
-            self.catalog.set_whatif(hypothetical, masked)
-        try:
-            plan = self.planner.plan(statement)
-        finally:
-            if config is not None:
-                self.catalog.clear_whatif()
-        return plan.est_cost, plan
-
-    def _strip_placeholders(self, statement: ast.Statement) -> ast.Statement:
-        """Make templated statements plannable by nulling placeholders.
-
-        Cost estimation on query *templates* (SQL2Template output) uses
-        unknown-value selectivities; placeholders become NULL literals,
-        which the stats layer treats as "value unknown".
-        """
-        from repro.sql.fingerprint import _Parameterizer  # reuse walker
-
-        class _Strip(_Parameterizer):
-            def expr(self, node: ast.Expr) -> ast.Expr:  # type: ignore[override]
-                if isinstance(node, ast.Placeholder):
-                    return ast.Literal(value=None)
-                if isinstance(node, ast.Literal):
-                    return node
-                if isinstance(node, ast.InList):
-                    # The parent walker collapses IN-lists to one item
-                    # (template normalisation); when costing a
-                    # concrete statement the full list must survive —
-                    # IN (0, 1, 2) is three times as selective as
-                    # IN (0).
-                    return ast.InList(
-                        expr=self.expr(node.expr),
-                        items=tuple(
-                            self.expr(i) for i in node.items
-                        ),
-                    )
-                return super().expr(node)
-
-        stripper = _Strip()
-        if isinstance(statement, ast.Select):
-            return stripper.select(statement)
-        if isinstance(statement, ast.Insert):
-            rows = tuple(
-                tuple(
-                    ast.Literal(value=None)
-                    if isinstance(v, ast.Placeholder)
-                    else v
-                    for v in row
-                )
-                for row in statement.rows
-            )
-            return ast.Insert(
-                table=statement.table, columns=statement.columns, rows=rows
-            )
-        if isinstance(statement, (ast.Update, ast.Delete)):
-            return stripper.statement(statement)
-        return statement
 
     # ------------------------------------------------------------------
     # sizes & metrics

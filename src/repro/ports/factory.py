@@ -1,0 +1,44 @@
+"""Backend factory: construct a :class:`TuningBackend` by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.engine.cost import CostParams, DEFAULT_PARAMS
+from repro.engine.faults import FaultInjector
+from repro.ports.backend import TuningBackend
+from repro.ports.memory import MemoryBackend
+from repro.ports.sqlite import SqliteBackend
+
+_REGISTRY: Dict[str, Callable[..., TuningBackend]] = {
+    "memory": MemoryBackend,
+    "sqlite": SqliteBackend,
+}
+
+DEFAULT_BACKEND = "memory"
+
+
+def available_backends() -> tuple:
+    """Backend names accepted by :func:`create_backend`, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(
+    name: str = DEFAULT_BACKEND,
+    params: CostParams = DEFAULT_PARAMS,
+    faults: Optional[FaultInjector] = None,
+) -> TuningBackend:
+    """Construct the named backend adapter.
+
+    Every adapter takes the same (cost-model params, fault injector)
+    pair, so callers — the bench harness, workload preparation, tests
+    — stay backend-agnostic.
+    """
+    try:
+        ctor = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise ValueError(
+            f"unknown backend {name!r} (known: {known})"
+        ) from None
+    return ctor(params=params, faults=faults)

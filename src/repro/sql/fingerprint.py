@@ -179,3 +179,55 @@ def fingerprint(statement: ast.Statement) -> str:
     identifiers and keywords).
     """
     return parameterize(statement).fingerprint
+
+
+class _PlaceholderStripper(_Parameterizer):
+    """Rewrites placeholders to NULL literals, keeping literals as-is."""
+
+    def expr(self, node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Placeholder):
+            return ast.Literal(value=None)
+        if isinstance(node, ast.Literal):
+            return node
+        if isinstance(node, ast.InList):
+            # The parent walker collapses IN-lists to one item
+            # (template normalisation); when costing a concrete
+            # statement the full list must survive — IN (0, 1, 2) is
+            # three times as selective as IN (0).
+            return ast.InList(
+                expr=self.expr(node.expr),
+                items=tuple(self.expr(i) for i in node.items),
+            )
+        return super().expr(node)
+
+
+# lint: exhaustive[Statement] fallthrough=Insert
+def strip_placeholders(statement: ast.Statement) -> ast.Statement:
+    """Make templated statements plannable by nulling placeholders.
+
+    Cost estimation on query *templates* (SQL2Template output) uses
+    unknown-value selectivities; placeholders become NULL literals,
+    which the stats layer treats as "value unknown". Concrete literals
+    (including full IN-lists) pass through untouched, so the same
+    helper serves both template and sample-SQL costing — the single
+    shared copy every what-if path must use.
+    """
+    stripper = _PlaceholderStripper()
+    if isinstance(statement, ast.Select):
+        return stripper.select(statement)
+    if isinstance(statement, ast.Insert):
+        rows = tuple(
+            tuple(
+                ast.Literal(value=None)
+                if isinstance(v, ast.Placeholder)
+                else v
+                for v in row
+            )
+            for row in statement.rows
+        )
+        return ast.Insert(
+            table=statement.table, columns=statement.columns, rows=rows
+        )
+    if isinstance(statement, (ast.Update, ast.Delete)):
+        return stripper.statement(statement)
+    return statement

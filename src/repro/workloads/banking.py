@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.engine.database import Database
+from repro.ports.backend import TuningBackend
 from repro.engine.index import IndexDef
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import TableSchema, table
@@ -120,7 +120,7 @@ class BankingWorkload(WorkloadGenerator):
             )
         return schemas
 
-    def load(self, db: Database) -> None:
+    def load(self, db: TuningBackend) -> None:
         rng = random.Random(self.seed)
         db.load_rows(
             "branch",

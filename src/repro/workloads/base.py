@@ -7,9 +7,10 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.engine.database import Database
 from repro.engine.index import IndexDef
 from repro.engine.schema import TableSchema
+from repro.ports.backend import TuningBackend
+from repro.ports.factory import DEFAULT_BACKEND, create_backend
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,7 @@ class WorkloadGenerator(abc.ABC):
         """Table definitions for this scenario."""
 
     @abc.abstractmethod
-    def load(self, db: Database) -> None:
+    def load(self, db: TuningBackend) -> None:
         """Populate the tables with deterministic data."""
 
     @abc.abstractmethod
@@ -46,7 +47,7 @@ class WorkloadGenerator(abc.ABC):
         """Extra indexes the Default baseline starts with (besides PKs)."""
         return []
 
-    def build(self, db: Database, with_defaults: bool = True) -> None:
+    def build(self, db: TuningBackend, with_defaults: bool = True) -> None:
         """Create tables, load data, add default indexes, and ANALYZE."""
         for schema in self.schemas():
             db.create_table(schema)
@@ -62,7 +63,7 @@ class WorkloadGenerator(abc.ABC):
 class LoadedWorkload:
     """A database prepared for a scenario, plus a query stream."""
 
-    db: Database
+    db: TuningBackend
     generator: WorkloadGenerator
     queries: List[Query] = field(default_factory=list)
 
@@ -73,8 +74,9 @@ class LoadedWorkload:
         query_count: int,
         seed: int = 0,
         with_defaults: bool = True,
+        backend: str = DEFAULT_BACKEND,
     ) -> "LoadedWorkload":
-        db = Database()
+        db = create_backend(backend)
         generator.build(db, with_defaults=with_defaults)
         return cls(
             db=db,

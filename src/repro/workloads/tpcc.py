@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.engine.database import Database
+from repro.ports.backend import TuningBackend
 from repro.engine.index import IndexDef
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import TableSchema, table
@@ -135,7 +135,7 @@ class TpccWorkload(WorkloadGenerator):
     # data
     # ------------------------------------------------------------------
 
-    def load(self, db: Database) -> None:
+    def load(self, db: TuningBackend) -> None:
         rng = random.Random(self.seed)
         db.load_rows("warehouse", [(1, "W_ONE", 0.08, 300000.0)])
         db.load_rows(

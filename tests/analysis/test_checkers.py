@@ -307,3 +307,45 @@ def test_layer_bench_import_ban():
     assert _violations(bad, "src/repro/core/uses_bench.py", "layer")
     # __main__ entry points are the sanctioned wiring location.
     assert not _violations(bad, "src/repro/__main__.py", "layer")
+
+
+def test_layer_core_must_not_import_concrete_database():
+    """core reaches the database only through the ports protocol."""
+    direct = """
+    from repro.engine.database import Database
+    """
+    via_package = """
+    from repro.engine import database
+    """
+    executor = """
+    import repro.engine.executor
+    """
+    assert _violations(direct, "src/repro/core/x.py", "layer")
+    assert _violations(via_package, "src/repro/core/x.py", "layer")
+    assert _violations(executor, "src/repro/core/x.py", "layer")
+    # Engine value types stay importable from core...
+    ok = """
+    from repro.engine.index import IndexDef
+    from repro.engine.faults import FaultInjector
+    """
+    assert not _violations(ok, "src/repro/core/x.py", "layer")
+    # ...and the adapters themselves may of course import the facade.
+    assert not _violations(direct, "src/repro/ports/memory.py", "layer")
+
+
+def test_layer_ports_placement():
+    good = """
+    from repro.engine.catalog import Catalog
+    from repro.sql import ast
+    """
+    assert not _violations(good, "src/repro/ports/adapter.py", "layer")
+    # ports sits below core: it must not import the tuner...
+    bad_up = """
+    from repro.core.estimator import BenefitEstimator
+    """
+    assert _violations(bad_up, "src/repro/ports/adapter.py", "layer")
+    # ...and the engine must not know about its adapters.
+    bad_down = """
+    from repro.ports.backend import TuningBackend
+    """
+    assert _violations(bad_down, "src/repro/engine/planner2.py", "layer")

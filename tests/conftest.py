@@ -6,21 +6,21 @@ import random
 
 import pytest
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.index import IndexDef
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import table
 
 
 @pytest.fixture
-def empty_db() -> Database:
-    return Database()
+def empty_db() -> MemoryBackend:
+    return MemoryBackend()
 
 
 @pytest.fixture
-def people_db() -> Database:
+def people_db() -> MemoryBackend:
     """A 2000-row single-table database with mixed column types."""
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "people",
@@ -51,9 +51,9 @@ def people_db() -> Database:
 
 
 @pytest.fixture
-def join_db() -> Database:
+def join_db() -> MemoryBackend:
     """Two joined tables (customers / orders) with an fk relationship."""
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "customers",
@@ -95,7 +95,7 @@ def join_db() -> Database:
 
 
 @pytest.fixture
-def indexed_join_db(join_db: Database) -> Database:
+def indexed_join_db(join_db: MemoryBackend) -> MemoryBackend:
     """join_db plus secondary indexes on the fk and filter columns."""
     join_db.create_index(IndexDef(table="orders", columns=("cid",)))
     join_db.create_index(

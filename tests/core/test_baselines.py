@@ -66,7 +66,7 @@ class TestGreedyAdvisor:
         import copy
 
         def run(marginal):
-            from repro.engine.database import Database
+            from repro.ports.memory import MemoryBackend
             from tests.conftest import people_db as _unused  # noqa: F401
 
             # Rebuild a fresh equivalent database for isolation.
@@ -84,11 +84,11 @@ class TestGreedyAdvisor:
 def _fresh_people_db():
     import random
 
-    from repro.engine.database import Database
+    from repro.ports.memory import MemoryBackend
     from repro.engine.schema import ColumnType as T
     from repro.engine.schema import table
 
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "people",

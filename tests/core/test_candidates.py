@@ -10,12 +10,12 @@ from repro.sql import parse
 
 @pytest.fixture
 def generator(people_db):
-    return CandidateGenerator(people_db.catalog)
+    return CandidateGenerator(people_db)
 
 
 @pytest.fixture
 def join_generator(join_db):
-    return CandidateGenerator(join_db.catalog)
+    return CandidateGenerator(join_db)
 
 
 def defs(generator, sql):
@@ -198,7 +198,7 @@ class TestMergeAndFilter:
         people_db.create_index(
             IndexDef(table="people", columns=("community", "status"))
         )
-        generator = CandidateGenerator(people_db.catalog)
+        generator = CandidateGenerator(people_db)
         templates = self.make_templates(
             ["SELECT id FROM people WHERE community = 1"]
         )
@@ -231,7 +231,7 @@ class TestMergeAndFilter:
 
 class TestColumnCap:
     def test_max_columns_respected(self, people_db):
-        generator = CandidateGenerator(people_db.catalog, max_columns=2)
+        generator = CandidateGenerator(people_db, max_columns=2)
         result = defs(
             generator,
             "SELECT id FROM people WHERE community = 1 AND status = 'x' "

@@ -9,7 +9,7 @@ from repro.sql import parse
 
 @pytest.fixture
 def generator(join_db):
-    return CandidateGenerator(join_db.catalog)
+    return CandidateGenerator(join_db)
 
 
 def defs(generator, sql):
@@ -38,7 +38,7 @@ class TestOperatorForms:
             "tags", [(f"tag{i:04d}",) for i in range(400)]
         )
         join_db.analyze("tags")
-        generator = CandidateGenerator(join_db.catalog)
+        generator = CandidateGenerator(join_db)
         result = defs(
             generator, "SELECT label FROM tags WHERE label LIKE 'tag01%'"
         )
@@ -104,10 +104,10 @@ class TestUnknownColumns:
 class TestGateBoundaries:
     def test_threshold_is_configurable(self, join_db):
         tight = CandidateGenerator(
-            join_db.catalog, selectivity_threshold=0.0001
+            join_db, selectivity_threshold=0.0001
         )
         loose = CandidateGenerator(
-            join_db.catalog, selectivity_threshold=1.0
+            join_db, selectivity_threshold=1.0
         )
         sql = "SELECT oid FROM orders WHERE status = 'paid'"
         assert defs(tight, sql) == []
@@ -121,7 +121,7 @@ class TestGateBoundaries:
         join_db.create_table(table("flags", [("f", T.INT)]))
         join_db.load_rows("flags", [(1,)] * 50)
         join_db.analyze("flags")
-        generator = CandidateGenerator(join_db.catalog)
+        generator = CandidateGenerator(join_db)
         assert defs(generator, "SELECT f FROM flags WHERE f = 1") == []
 
 
@@ -137,7 +137,7 @@ class TestGenerateOrdering:
             "INSERT INTO orders (oid, cid, amount, status) "
             "VALUES (99999, 1, 2.0, 'open')"
         )
-        generator = CandidateGenerator(join_db.catalog)
+        generator = CandidateGenerator(join_db)
         candidates = generator.generate(store.templates())
         tables = {c.definition.table for c in candidates}
         assert tables == {"orders"}

@@ -21,7 +21,7 @@ from repro.core.estimator import (
     WhatIfCostModel,
 )
 from repro.core.templates import TemplateStore
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.faults import (
     FAULT_POINTS,
     FaultError,
@@ -45,9 +45,9 @@ UPDATES = [
 ]
 
 
-def make_people_db() -> Database:
+def make_people_db() -> MemoryBackend:
     """A fresh copy of the conftest ``people_db`` (for twin-run tests)."""
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "people",
@@ -79,7 +79,7 @@ def make_people_db() -> Database:
     return db
 
 
-def attach(db: Database, plan: FaultPlan):
+def attach(db: MemoryBackend, plan: FaultPlan):
     """Install a fault injector on an already-built database."""
     injector = plan.injector()
     db.faults = injector

@@ -9,7 +9,7 @@ from repro.core.candidates import CandidateGenerator
 from repro.core.estimator import BenefitEstimator
 from repro.core.mcts import MctsIndexSelector
 from repro.core.templates import TemplateStore
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.index import IndexDef
 from repro.engine.metrics import LruCache
 from repro.workloads.banking import BankingWorkload
@@ -24,12 +24,12 @@ def _observed(db, generator, count, seed=3):
 
 
 def _build(generator, count=150):
-    db = Database()
+    db = MemoryBackend()
     generator.build(db)
     templates = _observed(db, generator, count)
     candidates = [
         c.definition
-        for c in CandidateGenerator(db.catalog).generate(templates)
+        for c in CandidateGenerator(db).generate(templates)
     ]
     return db, templates, candidates
 
@@ -220,7 +220,7 @@ class TestFeatureTierSurvivesRetrain:
 
     def test_data_change_invalidates_costs(self):
         generator = TpccWorkload(scale=1, seed=11)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         templates = _observed(db, generator, 60)
         estimator = BenefitEstimator(db)

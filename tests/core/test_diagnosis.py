@@ -12,7 +12,7 @@ def make_diagnosis(db, min_observations=1):
     store = TemplateStore()
     return (
         IndexDiagnosis(
-            db, store, CandidateGenerator(db.catalog),
+            db, store, CandidateGenerator(db),
             min_observations=min_observations,
         ),
         store,

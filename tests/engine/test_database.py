@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.index import IndexDef
 from repro.engine.metrics import QueryRecord
 from repro.engine.schema import ColumnType as T
@@ -172,7 +172,7 @@ class TestDeterminism:
 
     def test_fresh_databases_identical(self):
         def build():
-            db = Database()
+            db = MemoryBackend()
             db.create_table(
                 table("t", [("a", T.INT), ("b", T.INT)], primary_key=["a"])
             )

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.executor import ExecutionError
 from repro.engine.index import IndexDef
 from repro.engine.schema import ColumnType as T
@@ -451,7 +451,7 @@ _CACHE = {}
 def _property_db(indexed=True):
     key = bool(indexed)
     if key not in _CACHE:
-        db = Database()
+        db = MemoryBackend()
         db.create_table(
             table(
                 "people",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.index import IndexDef
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import table
@@ -10,7 +10,7 @@ from repro.engine.schema import table
 
 @pytest.fixture
 def edge_db():
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "left_t",

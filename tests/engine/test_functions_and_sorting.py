@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import table
 
 
 @pytest.fixture
 def fn_db():
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "t",

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.index import IndexDef, IndexScope, hypothetical_shape
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import TableSchema, table
@@ -12,7 +12,7 @@ from repro.engine.stats import TableStats
 
 
 def partitioned_db(rows=6000, partitions=8):
-    db = Database()
+    db = MemoryBackend()
     db.create_table(
         table(
             "events",
@@ -222,7 +222,7 @@ class TestCosting:
         from repro.sql import parse
 
         db = partitioned_db()
-        generator = CandidateGenerator(db.catalog)
+        generator = CandidateGenerator(db)
         defs = generator.for_statement(
             parse("SELECT event_id FROM events WHERE kind = 3")
         )

@@ -1,0 +1,80 @@
+"""Fixtures for the backend-conformance suite.
+
+Every test here is parametrized over all registered adapters, so one
+suite pins down the :class:`repro.ports.backend.TuningBackend`
+contract for the in-memory engine and the SQLite adapter alike.  CI
+can restrict the matrix to one adapter per job with
+``REPRO_TEST_BACKEND=memory`` / ``REPRO_TEST_BACKEND=sqlite``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.engine.schema import ColumnType as T
+from repro.engine.schema import table
+from repro.ports import available_backends, create_backend
+
+
+def selected_backends() -> tuple:
+    chosen = os.environ.get("REPRO_TEST_BACKEND", "").strip()
+    if not chosen:
+        return available_backends()
+    names = tuple(name.strip() for name in chosen.split(",") if name.strip())
+    unknown = set(names) - set(available_backends())
+    if unknown:
+        raise ValueError(
+            f"REPRO_TEST_BACKEND names unknown backends: {sorted(unknown)}"
+        )
+    return names
+
+
+@pytest.fixture(params=selected_backends())
+def backend_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def backend(backend_name):
+    return create_backend(backend_name)
+
+
+def load_people(db, rows: int = 2000) -> None:
+    """A small deterministic table shared by the conformance tests."""
+    db.create_table(
+        table(
+            "people",
+            [
+                ("id", T.INT),
+                ("name", T.TEXT),
+                ("community", T.INT),
+                ("temperature", T.FLOAT),
+                ("status", T.TEXT),
+            ],
+            primary_key=["id"],
+        )
+    )
+    rng = random.Random(7)
+    db.load_rows(
+        "people",
+        [
+            (
+                i,
+                f"person_{i}",
+                rng.randrange(20),
+                round(36.0 + rng.random() * 5.0, 1),
+                rng.choice(("healthy", "suspect", "confirmed")),
+            )
+            for i in range(rows)
+        ],
+    )
+    db.analyze()
+
+
+@pytest.fixture
+def people_backend(backend):
+    load_people(backend)
+    return backend

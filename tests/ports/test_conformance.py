@@ -1,0 +1,187 @@
+"""Backend-conformance suite: the TuningBackend contract.
+
+Each test runs against every registered adapter (see conftest), so
+the in-memory engine and the SQLite adapter must agree on the
+observable semantics the tuner depends on: hypothetical what-if
+costing (add and mask), transactional DDL, usage accounting, and the
+statement surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.faults import FaultError, FaultPlan, PERMANENT
+from repro.engine.index import IndexDef
+from repro.ports import create_backend
+from repro.ports.backend import TuningBackend
+
+from tests.ports.conftest import load_people
+
+COMMUNITY_SQL = (
+    "SELECT id FROM people WHERE community = 3 AND status = 'suspect'"
+)
+COMMUNITY_IX = IndexDef("people", ("community", "status"))
+
+
+class TestProtocolSurface:
+    def test_is_runtime_instance(self, backend):
+        assert isinstance(backend, TuningBackend)
+
+    def test_parse_and_fingerprint(self, people_backend):
+        statement = people_backend.parse_statement(COMMUNITY_SQL)
+        fp_direct = people_backend.fingerprint(statement)
+        other = people_backend.parse_statement(
+            "SELECT id FROM people WHERE community = 9 AND status = 'x'"
+        )
+        assert fp_direct == people_backend.fingerprint(other)
+
+    def test_execute_outcome(self, people_backend):
+        outcome = people_backend.execute(
+            "SELECT COUNT(*) FROM people WHERE community = 3"
+        )
+        assert outcome.scalar >= 1
+        assert outcome.cost > 0.0
+        assert outcome.plan is not None
+
+    def test_schema_and_stats(self, people_backend):
+        assert people_backend.has_table("people")
+        assert not people_backend.has_table("nope")
+        assert people_backend.table_row_count("people") == 2000
+        schema = people_backend.schema("people")
+        assert schema.has_column("community")
+        stats = people_backend.table_stats("people")
+        assert stats.row_count == 2000
+        assert stats.column("community").n_distinct == 20
+
+
+class TestWhatIf:
+    def test_hypothetical_add_lowers_cost(self, people_backend):
+        statement = people_backend.parse_statement(COMMUNITY_SQL)
+        existing = people_backend.index_defs()
+        base = people_backend.whatif_cost(statement, existing)
+        better = people_backend.whatif_cost(
+            statement, existing + [COMMUNITY_IX]
+        )
+        assert better.total < base.total
+        # Purely hypothetical: nothing was materialised.
+        assert not people_backend.has_index(COMMUNITY_IX)
+        assert people_backend.index_defs() == existing
+
+    def test_mask_restores_unindexed_cost(self, people_backend):
+        statement = people_backend.parse_statement(COMMUNITY_SQL)
+        bare = people_backend.whatif_cost(statement, [])
+        people_backend.create_index(COMMUNITY_IX)
+        indexed = people_backend.whatif_cost(
+            statement, people_backend.index_defs()
+        )
+        masked = people_backend.whatif_cost(statement, [])
+        assert indexed.total < bare.total
+        # Masking every real index re-produces the bare cost even
+        # though the index physically exists.
+        assert masked.total == pytest.approx(bare.total)
+
+    def test_write_maintenance_components(self, people_backend):
+        people_backend.create_index(COMMUNITY_IX)
+        statement = people_backend.parse_statement(
+            "UPDATE people SET community = 5 WHERE id = 10"
+        )
+        cost = people_backend.whatif_cost(
+            statement, people_backend.index_defs()
+        )
+        assert cost.is_write
+        assert cost.num_affected_indexes >= 1
+        assert cost.maintenance_io > 0.0
+        assert cost.total >= cost.data_cost
+
+    def test_estimate_cost_matches_whatif_total(self, people_backend):
+        statement = people_backend.parse_statement(COMMUNITY_SQL)
+        total, plan = people_backend.estimate_cost(statement, [COMMUNITY_IX])
+        assert total == pytest.approx(
+            people_backend.whatif_cost(statement, [COMMUNITY_IX]).total
+        )
+        assert plan is not None
+
+
+class TestDdl:
+    def test_create_drop_roundtrip(self, people_backend):
+        version = people_backend.catalog_version()
+        people_backend.create_index(COMMUNITY_IX)
+        assert people_backend.has_index(COMMUNITY_IX)
+        assert people_backend.catalog_version() != version
+        assert people_backend.index_size_bytes(COMMUNITY_IX) > 0
+        assert people_backend.total_index_bytes() >= (
+            people_backend.index_size_bytes(COMMUNITY_IX)
+        )
+        people_backend.drop_index(COMMUNITY_IX)
+        assert not people_backend.has_index(COMMUNITY_IX)
+
+    def test_duplicate_create_rejected(self, people_backend):
+        people_backend.create_index(COMMUNITY_IX)
+        with pytest.raises(ValueError):
+            people_backend.create_index(COMMUNITY_IX)
+
+    def test_drop_missing_raises(self, people_backend):
+        with pytest.raises(KeyError):
+            people_backend.drop_index(COMMUNITY_IX)
+
+    def test_build_fault_is_atomic(self, backend_name):
+        """An injected index.build fault must leave no trace."""
+        db = create_backend(backend_name)
+        load_people(db)
+        # Attach faults after the build (schema setup is never chaos
+        # tested — same convention as the bench harness).
+        faults = (
+            FaultPlan(seed=3)
+            .add("index.build", schedule=[1], kind=PERMANENT)
+            .injector()
+        )
+        db.faults = faults
+        before = db.index_defs()
+        version = db.catalog_version()
+        with pytest.raises(FaultError):
+            db.create_index(COMMUNITY_IX)
+        assert not db.has_index(COMMUNITY_IX)
+        assert db.index_defs() == before
+        assert db.catalog_version() == version
+        # The schedule only covers the first attempt: the retry lands.
+        db.create_index(COMMUNITY_IX)
+        assert db.has_index(COMMUNITY_IX)
+
+
+class TestUsageCounters:
+    def usage_of(self, db, definition):
+        for usage in db.index_usage():
+            if usage.definition.key == definition.key:
+                return usage
+        raise AssertionError(f"no usage row for {definition}")
+
+    def test_lookup_counting(self, people_backend):
+        people_backend.create_index(COMMUNITY_IX)
+        people_backend.reset_index_usage()
+        for _ in range(3):
+            people_backend.execute(COMMUNITY_SQL)
+        usage = self.usage_of(people_backend, COMMUNITY_IX)
+        assert usage.lookups == 3
+
+    def test_write_maintenance_counting(self, people_backend):
+        people_backend.create_index(COMMUNITY_IX)
+        people_backend.reset_index_usage()
+        people_backend.execute(
+            "INSERT INTO people (id, name, community, temperature, "
+            "status) VALUES (9001, 'n', 3, 36.6, 'healthy')"
+        )
+        people_backend.execute(
+            "UPDATE people SET community = 7 WHERE id = 9001"
+        )
+        usage = self.usage_of(people_backend, COMMUNITY_IX)
+        # insert: 1 op; keyed update: delete+insert = 2 ops.
+        assert usage.maintenance_ops == 3
+
+    def test_reset_zeroes(self, people_backend):
+        people_backend.create_index(COMMUNITY_IX)
+        people_backend.execute(COMMUNITY_SQL)
+        people_backend.reset_index_usage()
+        usage = self.usage_of(people_backend, COMMUNITY_IX)
+        assert usage.lookups == 0
+        assert usage.maintenance_ops == 0

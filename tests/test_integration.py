@@ -4,10 +4,10 @@ import pytest
 
 from repro import (
     AutoIndexAdvisor,
-    Database,
     DefaultAdvisor,
     GreedyAdvisor,
     IndexDef,
+    MemoryBackend,
 )
 from repro.workloads import (
     BankingWorkload,
@@ -23,7 +23,7 @@ class TestEpidemicStoryline:
     @pytest.fixture(scope="class")
     def story(self):
         generator = EpidemicWorkload(people=4000)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         advisor = AutoIndexAdvisor(db, mcts_iterations=50)
         log = {}
@@ -70,7 +70,7 @@ class TestEpidemicStoryline:
 class TestTpccEndToEnd:
     def test_autoindex_improves_and_stays_consistent(self):
         generator = TpccWorkload(scale=2, seed=11)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         advisor = AutoIndexAdvisor(db, mcts_iterations=50)
         before = 0.0
@@ -96,7 +96,7 @@ class TestTpccEndToEnd:
 
     def test_monitor_accumulates_whole_run(self):
         generator = TpccWorkload(scale=1, seed=11)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         for query in generator.queries(100, seed=0):
             db.execute(query.sql)
@@ -107,7 +107,7 @@ class TestTpccEndToEnd:
 class TestTpcdsBudgetStory:
     def test_budget_binds_and_mcts_adapts(self):
         generator = TpcdsWorkload()
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         budget = 512 * 1024  # deliberately tight
         advisor = AutoIndexAdvisor(
@@ -128,7 +128,7 @@ class TestBankingDiagnosisLoop:
         generator = BankingWorkload(
             accounts=1500, txn_rows=5000, product_rows=60
         )
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)  # over-indexed start
         advisor = AutoIndexAdvisor(db, mcts_iterations=50)
         for query in generator.withdrawal_queries(800, seed=0):
@@ -147,7 +147,7 @@ class TestBankingDiagnosisLoop:
         generator = BankingWorkload(
             accounts=800, txn_rows=2000, product_rows=20
         )
-        db = Database()
+        db = MemoryBackend()
         generator.build(db, with_defaults=False)  # PKs only, no bloat
         advisor = AutoIndexAdvisor(db, mcts_iterations=30)
         for query in generator.withdrawal_queries(120, seed=0):
@@ -165,7 +165,7 @@ class TestAdvisorsShareEstimates:
 
     def test_same_single_index_benefit(self):
         generator = TpccWorkload(scale=1, seed=11)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         auto = AutoIndexAdvisor(db)
         greedy = GreedyAdvisor(db)
@@ -193,7 +193,7 @@ class TestDeterministicReproduction:
     def test_full_pipeline_is_seed_stable(self):
         def run():
             generator = TpccWorkload(scale=1, seed=11)
-            db = Database()
+            db = MemoryBackend()
             generator.build(db)
             advisor = AutoIndexAdvisor(db, mcts_iterations=40, seed=17)
             for query in generator.queries(300, seed=0):

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.engine.index import IndexDef
 from repro.engine.schema import ColumnType as T
 from repro.engine.schema import table
@@ -20,8 +20,8 @@ from repro.sql import parse
 from repro.sql.fingerprint import fingerprint, parameterize
 
 
-def fresh_db(indexed: bool) -> Database:
-    db = Database()
+def fresh_db(indexed: bool) -> MemoryBackend:
+    db = MemoryBackend()
     db.create_table(
         table(
             "t",
@@ -48,7 +48,7 @@ def fresh_db(indexed: bool) -> Database:
 _DBS = {}
 
 
-def get_db(indexed: bool) -> Database:
+def get_db(indexed: bool) -> MemoryBackend:
     if indexed not in _DBS:
         _DBS[indexed] = fresh_db(indexed)
     return _DBS[indexed]
@@ -139,7 +139,7 @@ class TestWriteConsistency:
     )
     @settings(max_examples=25, deadline=None)
     def test_random_write_mix_keeps_index_consistent(self, operations):
-        db = Database()
+        db = MemoryBackend()
         db.create_table(
             table(
                 "w",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.database import Database
+from repro.ports.memory import MemoryBackend
 from repro.workloads import (
     BankingWorkload,
     DynamicWorkload,
@@ -17,7 +17,7 @@ from repro.workloads.dynamic import epidemic_phases, tpcc_rounds
 @pytest.fixture(scope="module")
 def tpcc_db():
     generator = TpccWorkload(scale=1)
-    db = Database()
+    db = MemoryBackend()
     generator.build(db)
     return generator, db
 
@@ -25,7 +25,7 @@ def tpcc_db():
 @pytest.fixture(scope="module")
 def tpcds_db():
     generator = TpcdsWorkload()
-    db = Database()
+    db = MemoryBackend()
     generator.build(db)
     return generator, db
 
@@ -140,7 +140,7 @@ class TestBanking:
         generator = BankingWorkload(
             accounts=300, txn_rows=600, product_rows=10
         )
-        db = Database()
+        db = MemoryBackend()
         generator.build(db, with_defaults=False)
         for query in generator.queries(40, seed=2):
             db.execute(query.sql)
@@ -168,7 +168,7 @@ class TestEpidemic:
 
     def test_full_pipeline_executes(self):
         generator = EpidemicWorkload(people=400)
-        db = Database()
+        db = MemoryBackend()
         generator.build(db)
         for query in generator.queries(60, seed=1):
             db.execute(query.sql)
