@@ -126,22 +126,32 @@ def _summarise(result: object, indent: str = "  ") -> None:
 
 
 def run_perf(
-    target: str, iterations: int, rounds: int, out: str
+    target: str, iterations: int, rounds: int, out: str, workers: int
 ) -> int:
-    """Dispatch a performance benchmark (``--perf mcts``)."""
-    if target != "mcts":  # argparse choices already guard this
-        print(f"unknown perf target {target!r}")
-        return 2
-    from repro.bench.perf import render_mcts_perf, run_mcts_perf
+    """Dispatch a performance benchmark (``--perf mcts|ingest``)."""
+    if target == "mcts":
+        from repro.bench.perf import render_mcts_perf, run_mcts_perf
 
-    print("=== perf: MCTS full vs delta costing ===")
-    report = run_mcts_perf(
-        iterations=iterations, rounds=rounds, out_path=out
-    )
-    for line in render_mcts_perf(report):
-        print("  " + line)
-    print(f"  written to {out}")
-    return 0
+        print("=== perf: MCTS costing modes (full/delta/parallel) ===")
+        report = run_mcts_perf(
+            iterations=iterations, rounds=rounds, out_path=out,
+            workers=workers,
+        )
+        for line in render_mcts_perf(report):
+            print("  " + line)
+        print(f"  written to {out}")
+        return 0
+    if target == "ingest":
+        from repro.bench.perf import render_ingest_perf, run_ingest_perf
+
+        print("=== perf: template ingest + diagnosis throughput ===")
+        report = run_ingest_perf(out_path=out)
+        for line in render_ingest_perf(report):
+            print("  " + line)
+        print(f"  written to {out}")
+        return 0
+    print(f"unknown perf target {target!r}")  # argparse guards this
+    return 2
 
 
 def run_backend(backend: str, seed: int) -> int:
@@ -178,8 +188,13 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--perf",
-        choices=["mcts"],
+        choices=["mcts", "ingest"],
         help="run a performance benchmark instead of an experiment",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="rollout-costing processes for --perf mcts (capped at "
+             "the visible core count; default 4)",
     )
     parser.add_argument(
         "--backend",
@@ -213,8 +228,9 @@ def main(argv: List[str] | None = None) -> int:
         help="tuning rounds to split iterations over (default 6)",
     )
     parser.add_argument(
-        "--out", default="BENCH_mcts.json",
-        help="output JSON path for --perf",
+        "--out", default=None,
+        help="output JSON path for --perf/--faults (defaults to "
+             "BENCH_<target>.json)",
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
@@ -230,9 +246,7 @@ def main(argv: List[str] | None = None) -> int:
             parser.error("--rate must be within [0, 1]")
         if args.rounds < 1:
             parser.error("--rounds must be >= 1")
-        out = args.out
-        if out == "BENCH_mcts.json":  # the --perf default
-            out = "BENCH_chaos.json"
+        out = args.out or "BENCH_chaos.json"
         return run_faults(
             args.seed, args.rate, args.rounds, args.fault_kind, out
         )
@@ -241,7 +255,12 @@ def main(argv: List[str] | None = None) -> int:
             parser.error("--iterations must be >= 1")
         if args.rounds < 1:
             parser.error("--rounds must be >= 1")
-        return run_perf(args.perf, args.iterations, args.rounds, args.out)
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        out = args.out or f"BENCH_{args.perf}.json"
+        return run_perf(
+            args.perf, args.iterations, args.rounds, out, args.workers
+        )
     if args.backend:
         return run_backend(args.backend, args.seed)
     if args.command is None:

@@ -1,34 +1,51 @@
-"""Performance benchmark: full vs delta costing across MCTS rounds.
+"""Performance benchmarks: MCTS costing modes and template ingest.
 
 ``python -m repro.bench --perf mcts`` times N MCTS iterations split
-over several tuning rounds on TPC-C, once with the incremental
-machinery disabled (full: every evaluation re-costs the whole
-workload, no feature tier, no plan memoisation — the pre-delta
-behaviour) and once with it enabled. The estimator caches are cleared
-between rounds in both modes, emulating the model retrain that
-normally happens there; the feature tier is exactly what survives
-that clear, so the delta mode re-plans almost nothing after round
-one.
+over several tuning rounds on TPC-C in three modes:
 
-Because delta costs are bitwise-identical to full recomputation, both
-modes follow the same search trajectory under the same seed — the
-comparison measures pure bookkeeping overhead, not different
-searches.
+* **full** — the incremental machinery disabled: every evaluation
+  re-costs the whole workload, no feature tier, no plan memoisation,
+  per-statement what-if overlays (the pre-delta behaviour);
+* **delta** — incremental re-costing with the per-statement scalar
+  estimator path pinned (``vectorized=False``): the delta baseline as
+  it shipped, before batch costing and worker pools existed;
+* **parallel** — everything on: delta costing, vectorized batch
+  costing (one overlay window + one ``model.predict`` per evaluation
+  batch), and ``--workers`` rollout costing processes when the
+  machine has more than one core.
 
-Writes ``BENCH_mcts.json`` with per-mode wall time, planner
-invocations, model predictions, and cache statistics, plus the
-full/delta ratios.
+The estimator caches are cleared between rounds in every mode,
+emulating the model retrain that normally happens there. Because
+delta costs are bitwise-identical to full recomputation — and the
+parallel merge happens in submission order on a parent-side RNG — all
+three modes follow the same search trajectory under the same seed.
+``identical_result`` asserts exactly that; the comparison measures
+pure bookkeeping overhead, never different searches.
+
+The ``machine`` block keeps the numbers honest: ``workers_effective``
+is capped at the visible core count (a rollout-costing pool on a
+single-core container is pure fork overhead), so ``speedup_parallel``
+only reflects process parallelism on hardware that has it.
+
+``python -m repro.bench --perf ingest`` streams TPC-C queries through
+SQL2Template matching (parse → parameterize → shard lookup) with a
+periodic index-diagnosis pass — the observe-side hot path — and
+reports queries/second plus the sharded store's shape.
+
+Writes ``BENCH_mcts.json`` / ``BENCH_ingest.json``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 from typing import Dict, List
 
 from repro.bench.harness import prepare_database
 from repro.core.candidates import CandidateGenerator
+from repro.core.diagnosis import IndexDiagnosis
 from repro.core.estimator import BenefitEstimator
 from repro.core.mcts import MctsIndexSelector
 from repro.core.templates import TemplateStore
@@ -48,20 +65,32 @@ def _build_workload(observe_queries: int):
 
 
 def _run_mode(
-    delta: bool,
+    mode: str,
     iterations: int,
     rounds: int,
     seed: int,
     observe_queries: int,
+    workers: int = 1,
 ) -> Dict:
     db, templates, candidates = _build_workload(observe_queries)
-    if delta:
-        estimator = BenefitEstimator(db)
-    else:
-        # Pre-change behaviour: no feature tier, no plan memoisation,
-        # every config costed from scratch.
+    if mode == "full":
+        # Pre-delta behaviour: no feature tier, no plan memoisation,
+        # per-statement overlays, every config costed from scratch.
         db.planner.plan_cache_enabled = False
-        estimator = BenefitEstimator(db, feature_cache_size=0)
+        estimator = BenefitEstimator(
+            db, feature_cache_size=0, vectorized=False
+        )
+        delta, mode_workers = False, 1
+    elif mode == "delta":
+        # The delta baseline as shipped: incremental re-costing with
+        # the scalar per-statement estimator path pinned.
+        estimator = BenefitEstimator(db, vectorized=False)
+        delta, mode_workers = True, 1
+    elif mode == "parallel":
+        estimator = BenefitEstimator(db)
+        delta, mode_workers = True, workers
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown bench mode {mode!r}")
     selector = MctsIndexSelector(
         estimator,
         iterations=max(iterations // rounds, 1),
@@ -69,6 +98,7 @@ def _run_mode(
         patience=10**9,  # never stop early: fixed work per round
         rng=random.Random(seed),
         delta_costing=delta,
+        workers=mode_workers,
     )
     existing = db.index_defs()
     protected = [d for d in existing if d.unique]
@@ -90,8 +120,9 @@ def _run_mode(
 
     stats = estimator.cache_stats()
     return {
-        "mode": "delta" if delta else "full",
+        "mode": mode,
         "wall_seconds": wall_seconds,
+        "workers_used": max(r.workers_used for r in results),
         "plans_computed": estimator.plans_computed,
         "model_predictions": estimator.estimate_calls,
         "evaluations": sum(r.evaluations for r in results),
@@ -110,25 +141,51 @@ def run_mcts_perf(
     out_path: str = "BENCH_mcts.json",
     seed: int = 17,
     observe_queries: int = 400,
+    workers: int = 4,
 ) -> Dict:
-    """Time full-vs-delta MCTS and write the comparison JSON."""
-    full = _run_mode(False, iterations, rounds, seed, observe_queries)
-    delta = _run_mode(True, iterations, rounds, seed, observe_queries)
+    """Time the three costing modes and write the comparison JSON."""
+    cpu_count = os.cpu_count() or 1
+    # A rollout-costing pool wider than the machine is pure fork
+    # overhead; the bench never oversubscribes (the selector itself
+    # honours whatever the caller asks for).
+    workers_effective = max(min(workers, cpu_count), 1)
+    full = _run_mode("full", iterations, rounds, seed, observe_queries)
+    delta = _run_mode("delta", iterations, rounds, seed, observe_queries)
+    parallel = _run_mode(
+        "parallel", iterations, rounds, seed, observe_queries,
+        workers=workers_effective,
+    )
 
     identical = (
-        full["best_benefit"] == delta["best_benefit"]
-        and full["best_config"] == delta["best_config"]
+        full["best_benefit"]
+        == delta["best_benefit"]
+        == parallel["best_benefit"]
+        and full["best_config"]
+        == delta["best_config"]
+        == parallel["best_config"]
     )
     report = {
-        "benchmark": "mcts-full-vs-delta",
+        "benchmark": "mcts-costing-modes",
         "workload": "tpcc scale=1",
         "iterations": iterations,
         "rounds": rounds,
         "seed": seed,
+        "machine": {
+            "cpu_count": cpu_count,
+            "workers_requested": workers,
+            "workers_effective": workers_effective,
+        },
         "full": full,
         "delta": delta,
+        "parallel": parallel,
         "speedup_wall": _ratio(
             full["wall_seconds"], delta["wall_seconds"]
+        ),
+        "speedup_parallel": _ratio(
+            delta["wall_seconds"], parallel["wall_seconds"]
+        ),
+        "speedup_parallel_vs_full": _ratio(
+            full["wall_seconds"], parallel["wall_seconds"]
         ),
         "plan_reduction": _ratio(
             full["plans_computed"], delta["plans_computed"]
@@ -150,27 +207,101 @@ def _ratio(full: float, delta: float) -> float:
 
 def render_mcts_perf(report: Dict) -> List[str]:
     """Human-readable lines for the CLI."""
+    machine = report["machine"]
     lines = [
         f"workload: {report['workload']}  "
         f"iterations: {report['iterations']} over "
         f"{report['rounds']} rounds",
+        f"machine: {machine['cpu_count']} cores; workers "
+        f"{machine['workers_requested']} requested, "
+        f"{machine['workers_effective']} effective",
     ]
-    for mode in ("full", "delta"):
+    for mode in ("full", "delta", "parallel"):
         m = report[mode]
         lines.append(
-            f"{mode:6s} {m['wall_seconds']:8.2f}s  "
+            f"{mode:8s} {m['wall_seconds']:8.2f}s  "
             f"plans={m['plans_computed']:<6d} "
             f"predictions={m['model_predictions']:<6d} "
             f"cost-cache hit rate="
             f"{m['cost_cache']['hit_rate']:.2f}"
         )
     lines.append(
-        f"speedup: {report['speedup_wall']:.2f}x wall, "
-        f"{report['plan_reduction']:.2f}x fewer plans, "
-        f"{report['prediction_reduction']:.2f}x fewer predictions"
+        f"speedup: full/delta {report['speedup_wall']:.2f}x, "
+        f"delta/parallel {report['speedup_parallel']:.2f}x, "
+        f"full/parallel {report['speedup_parallel_vs_full']:.2f}x"
     )
     lines.append(
         "identical result: " + ("yes" if report["identical_result"]
                                 else "NO (investigate)")
     )
     return lines
+
+
+# ---------------------------------------------------------------------------
+# ingest: SQL2Template + diagnosis throughput
+# ---------------------------------------------------------------------------
+
+
+def run_ingest_perf(
+    queries: int = 4000,
+    out_path: str = "BENCH_ingest.json",
+    seed: int = 17,
+    diagnosis_every: int = 1000,
+) -> Dict:
+    """Measure observe-side throughput and write ``BENCH_ingest.json``.
+
+    The timed loop is exactly the online ingest path: parse the
+    statement, match it against the sharded template store
+    (SQL2Template), and every ``diagnosis_every`` queries run a full
+    index-diagnosis pass (usage classification + candidate
+    generation) — the cadence at which the monitor would evaluate
+    whether to trigger tuning.
+    """
+    generator = TpccWorkload(scale=1, seed=11)
+    db = prepare_database(generator)
+    store = TemplateStore()
+    diagnosis = IndexDiagnosis(db, store, CandidateGenerator(db))
+    batch = list(generator.queries(queries, seed=seed))
+
+    diagnosis_passes = 0
+    start = time.perf_counter()
+    for i, query in enumerate(batch, 1):
+        store.observe(query.sql, db.parse_statement(query.sql))
+        if i % diagnosis_every == 0:
+            diagnosis.diagnose()
+            diagnosis_passes += 1
+    wall_seconds = time.perf_counter() - start
+
+    shard_stats = store.shard_stats()
+    report = {
+        "benchmark": "ingest-sql2template-diagnosis",
+        "workload": "tpcc scale=1",
+        "queries": queries,
+        "seed": seed,
+        "wall_seconds": wall_seconds,
+        "queries_per_second": queries / max(wall_seconds, 1e-12),
+        "diagnosis_every": diagnosis_every,
+        "diagnosis_passes": diagnosis_passes,
+        "templates": sum(shard_stats.values()),
+        "shards": len(shard_stats),
+        "largest_shard": max(shard_stats.values(), default=0),
+        "shard_stats": shard_stats,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def render_ingest_perf(report: Dict) -> List[str]:
+    """Human-readable lines for the CLI."""
+    return [
+        f"workload: {report['workload']}  "
+        f"queries: {report['queries']}",
+        f"ingest: {report['queries_per_second']:.0f} queries/s "
+        f"({report['wall_seconds']:.2f}s wall, "
+        f"{report['diagnosis_passes']} diagnosis passes)",
+        f"store: {report['templates']} templates across "
+        f"{report['shards']} shards "
+        f"(largest {report['largest_shard']})",
+    ]

@@ -79,6 +79,7 @@ class AutoIndexAdvisor:
         delta_costing: bool = True,
         mcts_deadline_seconds: Optional[float] = None,
         mcts_max_evaluations: Optional[int] = None,
+        mcts_workers: int = 1,
         pipeline: Optional[TuningPipeline] = None,
     ):
         self.db = db
@@ -106,6 +107,7 @@ class AutoIndexAdvisor:
             delta_costing=delta_costing,
             deadline_seconds=mcts_deadline_seconds,
             max_evaluations=mcts_max_evaluations,
+            workers=mcts_workers,
         )
         self.diagnosis = IndexDiagnosis(db, self.store, self.generator)
         self.pipeline = (
@@ -266,6 +268,7 @@ class AutoIndexAdvisor:
         self,
         force: bool = True,
         trigger_threshold: float = 0.1,
+        scope_tables: Optional[List[str]] = None,
     ) -> TuningContext:
         """Assemble the shared context for one tuning round."""
         return TuningContext(
@@ -283,12 +286,14 @@ class AutoIndexAdvisor:
             protected=self.protected_indexes(),
             force=force,
             trigger_threshold=trigger_threshold,
+            scope_tables=scope_tables,
         )
 
     def tune(
         self,
         force: bool = True,
         trigger_threshold: float = 0.1,
+        scope_tables: Optional[List[str]] = None,
     ) -> TuningReport:
         """Run one incremental tuning round and apply the result.
 
@@ -307,7 +312,9 @@ class AutoIndexAdvisor:
         configuration.
         """
         ctx = self.make_context(
-            force=force, trigger_threshold=trigger_threshold
+            force=force,
+            trigger_threshold=trigger_threshold,
+            scope_tables=scope_tables,
         )
         self.pipeline.run(ctx)
         report = ctx.finalize(self.statements_analyzed)

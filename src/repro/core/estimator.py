@@ -23,6 +23,8 @@ import numpy as np
 from repro.core.features import (
     CostFeatures,
     compute_features,
+    compute_features_batch,
+    features_matrix,
     referenced_tables,
 )
 from repro.core.templates import QueryTemplate
@@ -38,6 +40,15 @@ from repro.engine.metrics import CacheStats, LruCache
 from repro.ports.backend import TuningBackend
 from repro.sql import ast
 from repro.sql.lexer import SqlSyntaxError
+
+
+#: Single sizing knob for the estimator's bounded caches. Both LRU
+#: tiers (cost and features) and the parsed-sample cache default to
+#: this; pass an explicit size (0 disables a tier) to override. The
+#: sizes live here — and only here — so the tiers cannot silently
+#: drift apart again (the full-mode bench once ran with a disabled
+#: feature tier while delta mode got 50 000).
+DEFAULT_CACHE_SIZE = 50_000
 
 
 class EstimatorUnavailable(RuntimeError):
@@ -262,12 +273,24 @@ class BenefitEstimator:
         self,
         backend: TuningBackend,
         model=None,
-        cache_size: int = 50_000,
-        feature_cache_size: int = 50_000,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        feature_cache_size: Optional[int] = None,
         max_predict_retries: int = 3,
         clock: Optional[VirtualClock] = None,
+        vectorized: bool = True,
     ):
+        # ``feature_cache_size=None`` follows ``cache_size`` so one
+        # argument sizes both tiers; benchmarks that deliberately
+        # disable a tier must say so with an explicit 0.
+        if feature_cache_size is None:
+            feature_cache_size = cache_size
         self.backend = backend
+        #: ``vectorized=False`` pins the per-template scalar costing
+        #: path (one what-if overlay per statement, elementwise
+        #: aggregation) — kept for the perf bench baseline and the
+        #: batch-equals-scalar property tests. Results are bitwise
+        #: identical either way.
+        self.vectorized = vectorized
         self.model = model if model is not None else WhatIfCostModel()
         self.history: List[HistorySample] = []
         self._cache = LruCache(cache_size)
@@ -275,6 +298,7 @@ class BenefitEstimator:
         self._tables_cache: Dict[str, Tuple[str, ...]] = {}
         self._sample_cache = LruCache(cache_size)
         self._inverted_cache = LruCache(8)
+        self._inverted_last: Optional[Tuple[Sequence, Dict]] = None
         self._catalog_version = backend.catalog_version()
         self.estimate_calls = 0  # model predictions (cost-tier misses)
         self.plans_computed = 0  # planner invocations (feature misses)
@@ -464,43 +488,156 @@ class BenefitEstimator:
         positions,
         out: np.ndarray,
     ) -> None:
-        """Write weighted costs for ``positions`` into ``out``."""
+        """Write weighted costs for ``positions`` into ``out``.
+
+        The vectorized estimator path: cost-tier misses are
+        feature-planned through the backend's bulk what-if entry (one
+        overlay window for the whole batch), stacked into a single
+        (n, NUM_FEATURES) matrix, and predicted with one
+        ``model.predict`` call. Hits stay scalar writes on purpose —
+        delta batches are a dozen positions, below the break-even
+        point of array gather/scatter. Every step performs the same
+        IEEE operations as the per-template path, so results are
+        bitwise identical to it.
+        """
         # One pass over the config up front; per template only its
         # (few) relevant definitions are touched, not the whole
-        # config. Keys match _relevant_config exactly.
+        # config. Keys match _relevant_config exactly: the per-table
+        # signatures below are sorted key tuples, and a single-table
+        # template's merged key IS its table's signature — computed
+        # once per call, not once per position.
         by_table: Dict[str, List[IndexDef]] = {}
         for d in config:
             by_table.setdefault(d.table, []).append(d)
-        missing: List[Tuple[int, Tuple, float, CostFeatures]] = []
+        table_sigs: Dict[str, Tuple] = {}
+        cache_get = self._cache.get
+        missing: List[
+            Tuple[int, Tuple, float, QueryTemplate, Optional[CostFeatures]]
+        ] = []
         for i in positions:
             template = templates[i]
-            weight = max(template.weight, 0.1)
-            relevant = [
-                d
-                for table in self._tables_of(template)
-                for d in by_table.get(table, ())
-            ]
-            relevant.sort(key=lambda d: d.key)
-            key = (
-                template.fingerprint,
-                tuple(d.key for d in relevant),
+            # Inlined max(template.weight, 0.1) — property and call
+            # overhead matter at this call rate.
+            weight = (
+                template.window_frequency + 0.1 * template.frequency
             )
-            cached = self._cache.get(key)
+            if weight < 0.1:
+                weight = 0.1
+            tables = self._tables_of(template)
+            if len(tables) == 1:
+                sig = table_sigs.get(tables[0])
+                if sig is None:
+                    defs = by_table.get(tables[0])
+                    sig = (
+                        tuple(sorted(d.key for d in defs))
+                        if defs
+                        else ()
+                    )
+                    table_sigs[tables[0]] = sig
+                merged = sig
+            else:
+                keys = [
+                    d.key
+                    for table in tables
+                    for d in by_table.get(table, ())
+                ]
+                keys.sort()
+                merged = tuple(keys)
+            key = (template.fingerprint, merged)
+            cached = cache_get(key)
             if cached is not None:
                 out[i] = weight * cached
                 continue
-            features = self._features_for(template, key, relevant)
-            missing.append((i, key, weight, features))
+            if self.vectorized:
+                missing.append((i, key, weight, template, None))
+            else:
+                # Scalar pin: plan each statement through its own
+                # what-if overlay window (the pre-batch path) and
+                # carry the features along — they must not depend on
+                # the feature tier being enabled.
+                relevant = [
+                    d
+                    for table in tables
+                    for d in by_table.get(table, ())
+                ]
+                relevant.sort(key=lambda d: d.key)
+                feats = self._features_for(template, key, relevant)
+                missing.append((i, key, weight, template, feats))
         if not missing:
             return
-        matrix = np.stack([m[3].as_array() for m in missing])
+        features = self._batch_features(missing, config)
+        matrix = features_matrix(features)
         # lint: ignore[cache-key] -- model swaps flush the cost tier (train/clear_cache)
         predicted = self._predict(matrix)
         self.estimate_calls += len(missing)
-        for (i, key, weight, _features), cost in zip(missing, predicted):
-            cost = float(cost)
+        for (i, key, weight, _template, _f), raw in zip(missing, predicted):
+            cost = float(raw)
             self._cache.put(key, cost)
             out[i] = weight * cost
+
+    def _batch_features(
+        self,
+        missing: Sequence[
+            Tuple[int, Tuple, float, QueryTemplate, Optional[CostFeatures]]
+        ],
+        config: Sequence[IndexDef],
+    ) -> List[CostFeatures]:
+        """Feature vectors for the cost-tier misses of one evaluation.
+
+        An entry carrying pre-planned features (the scalar pin) is
+        used as-is. The rest are looked up in the feature tier;
+        feature-tier misses are planned together through
+        :func:`compute_features_batch` under the *full* configuration:
+        a statement's plan and maintenance charge only depend on the
+        indexes of its referenced tables, so planning under the full
+        config equals planning under the per-template relevant subset
+        (the cache key stays the relevant subset). Under fault
+        injection the batch window would blur per-statement retry
+        semantics, so each statement goes through the serial
+        retry-laddered path instead.
+        """
+        features: List[Optional[CostFeatures]] = []
+        unplanned: List[int] = []
+        for pos, (_i, key, _weight, template, carried) in enumerate(
+            missing
+        ):
+            cached = (
+                carried
+                if carried is not None
+                else self._feature_cache.get(key)
+            )
+            features.append(cached)
+            if cached is None:
+                unplanned.append(pos)
+        if unplanned:
+            if self.faults is not None:
+                for pos in unplanned:
+                    _i, key, _weight, template, _f = missing[pos]
+                    features[pos] = self._features_for(
+                        template, key, self._relevant_of(template, config)
+                    )
+            else:
+                statements = [
+                    self._representative(missing[pos][3])
+                    for pos in unplanned
+                ]
+                self.plans_computed += len(unplanned)
+                planned = compute_features_batch(
+                    self.backend, statements, list(config)
+                )
+                for pos, feats in zip(unplanned, planned):
+                    self._feature_cache.put(missing[pos][1], feats)
+                    features[pos] = feats
+        return features  # type: ignore[return-value]
+
+    def _relevant_of(
+        self, template: QueryTemplate, config: Sequence[IndexDef]
+    ) -> List[IndexDef]:
+        """The config subset touching the template's tables."""
+        table_set = set(self._tables_of(template))
+        relevant = [d for d in config if d.table in table_set]
+        relevant.sort(key=lambda d: d.key)
+        return relevant
 
     def workload_cost(
         self,
@@ -516,6 +653,7 @@ class BenefitEstimator:
         templates: Sequence[QueryTemplate],
         parent_config: Sequence[IndexDef],
         child_config: Sequence[IndexDef],
+        changed_tables: Optional[Set[str]] = None,
     ) -> Tuple[float, np.ndarray]:
         """Incrementally re-cost a config that differs from its parent.
 
@@ -529,7 +667,13 @@ class BenefitEstimator:
 
         ``parent_costs`` must be the array ``workload_costs(templates,
         parent_config)`` returned for the *same* template sequence
-        with unchanged weights. Returns ``(total, per_template)``.
+        with unchanged weights. A caller that already knows the
+        changed table set (MCTS holds configs as key frozensets, so
+        the symmetric difference is one C-level set op) may pass it as
+        ``changed_tables`` — it must equal
+        ``_changed_tables(parent_config, child_config)``, and
+        ``parent_config`` is then ignored. Returns
+        ``(total, per_template)``.
         """
         if len(parent_costs) != len(templates):
             raise ValueError(
@@ -537,7 +681,11 @@ class BenefitEstimator:
                 f"({len(parent_costs)} costs, {len(templates)} templates)"
             )
         self._check_version()
-        changed = self._changed_tables(parent_config, child_config)
+        changed = (
+            changed_tables
+            if changed_tables is not None
+            else self._changed_tables(parent_config, child_config)
+        )
         if not changed:
             return float(parent_costs.sum()), parent_costs
         inverted = self._template_table_index(templates)
@@ -568,6 +716,12 @@ class BenefitEstimator:
         self, templates: Sequence[QueryTemplate]
     ) -> Dict[str, Tuple[int, ...]]:
         """Inverted index: table name → template positions touching it."""
+        # Identity fast path: MCTS hands the same list object for the
+        # whole search, so skip rebuilding the fingerprint-tuple key
+        # each delta call (the held reference keeps the id stable).
+        last = self._inverted_last
+        if last is not None and last[0] is templates:
+            return last[1]
         key = tuple(t.fingerprint for t in templates)
         inverted = self._inverted_cache.get(key)
         if inverted is None:
@@ -577,6 +731,7 @@ class BenefitEstimator:
                     build.setdefault(table, []).append(i)
             inverted = {t: tuple(ix) for t, ix in build.items()}
             self._inverted_cache.put(key, inverted)
+        self._inverted_last = (templates, inverted)
         return inverted
 
     def benefit(

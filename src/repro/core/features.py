@@ -77,7 +77,32 @@ def compute_features(
     config: Optional[Sequence[IndexDef]] = None,
 ) -> CostFeatures:
     """Compute the feature vector for ``statement`` under ``config``."""
-    whatif = backend.whatif_cost(statement, config)
+    return _features_of(backend.whatif_cost(statement, config))
+
+
+def compute_features_batch(
+    backend: TuningBackend,
+    statements: Sequence[ast.Statement],
+    config: Optional[Sequence[IndexDef]] = None,
+) -> List[CostFeatures]:
+    """Feature vectors for many statements under one configuration.
+
+    Uses the backend's bulk what-if entry point (one catalog overlay
+    window for the whole batch) when it offers one; otherwise falls
+    back to per-statement :func:`compute_features`. Results are
+    bitwise-identical either way — batching only amortises overlay
+    bookkeeping, the planning itself is unchanged.
+    """
+    bulk = getattr(backend, "whatif_cost_batch", None)
+    if bulk is None:
+        return [
+            compute_features(backend, statement, config)
+            for statement in statements
+        ]
+    return [_features_of(whatif) for whatif in bulk(statements, config)]
+
+
+def _features_of(whatif) -> CostFeatures:
     return CostFeatures(
         data_cost=whatif.data_cost,
         io_cost=whatif.maintenance_io,
@@ -85,6 +110,24 @@ def compute_features(
         is_write=whatif.is_write,
         num_affected_indexes=whatif.num_affected_indexes,
     )
+
+
+def features_matrix(features: Sequence[CostFeatures]) -> np.ndarray:
+    """Stack feature vectors into an (n, NUM_FEATURES) float matrix.
+
+    Fills one pre-allocated array by attribute instead of stacking n
+    small per-template arrays — the estimator calls this once per
+    evaluation batch and hands the matrix to a single
+    ``model.predict``.
+    """
+    matrix = np.empty((len(features), NUM_FEATURES), dtype=float)
+    for row, f in enumerate(features):
+        matrix[row, 0] = f.data_cost
+        matrix[row, 1] = f.io_cost
+        matrix[row, 2] = f.cpu_cost
+        matrix[row, 3] = 1.0 if f.is_write else 0.0
+        matrix[row, 4] = float(f.num_affected_indexes)
+    return matrix
 
 
 def referenced_tables(statement: ast.Statement) -> Tuple[str, ...]:

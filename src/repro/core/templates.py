@@ -15,7 +15,7 @@ Section IV-A step 1 and Section IV-C of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sql import ast, parse
 from repro.sql.fingerprint import parameterize
@@ -59,11 +59,21 @@ class QueryTemplate:
 
 
 class TemplateStore:
-    """Capacity-bounded store of query templates.
+    """Capacity-bounded store of query templates, sharded by table.
 
     ``capacity`` bounds the number of retained templates;
     ``decay_factor`` and ``cold_threshold`` implement the drift
     handling of Section IV-C.
+
+    Templates live in per-table shards keyed by the statement's
+    primary (first-referenced) table, with a table → fingerprints
+    index covering secondary references, so candidate generation and
+    what-if costing can iterate only the shards a configuration
+    change touches (:meth:`templates_for_tables`) instead of scanning
+    a flat dict. The LRU budget is split across shards: the capacity
+    is divided evenly over the active shards and eviction charges the
+    shard most over its share, dropping that shard's coldest
+    template.
     """
 
     def __init__(
@@ -79,12 +89,63 @@ class TemplateStore:
         self.cold_threshold = cold_threshold
         self.drift_window = drift_window
         self.drift_miss_ratio = drift_miss_ratio
-        self._templates: Dict[str, QueryTemplate] = {}
+        #: shard key (primary table, "" when table-less) → templates.
+        self._shards: Dict[str, Dict[str, QueryTemplate]] = {}
+        self._shard_of: Dict[str, str] = {}
+        #: any referenced table → fingerprints (secondary references
+        #: included, so multi-table templates are never missed).
+        self._table_index: Dict[str, Dict[str, None]] = {}
+        self._size = 0
         self._clock = 0
         self._window_arrivals = 0
         self._window_misses = 0
         self.total_observed = 0
         self.total_new_templates = 0
+
+    # -- shard plumbing ----------------------------------------------------------
+
+    def _get(self, fingerprint: str) -> Optional[QueryTemplate]:
+        shard_key = self._shard_of.get(fingerprint)
+        if shard_key is None:
+            return None
+        return self._shards[shard_key].get(fingerprint)
+
+    def _insert(self, template: QueryTemplate) -> None:
+        tables = template.tables
+        shard_key = tables[0] if tables else ""
+        self._shards.setdefault(shard_key, {})[
+            template.fingerprint
+        ] = template
+        self._shard_of[template.fingerprint] = shard_key
+        for table in tables:
+            # Dict-as-ordered-set: insertion order is deterministic,
+            # set iteration order is not.
+            self._table_index.setdefault(table, {})[
+                template.fingerprint
+            ] = None
+        self._size += 1
+
+    def _remove(self, fingerprint: str) -> None:
+        shard_key = self._shard_of.pop(fingerprint)
+        shard = self._shards[shard_key]
+        template = shard.pop(fingerprint)
+        if not shard:
+            del self._shards[shard_key]
+        for table in template.tables:
+            members = self._table_index.get(table)
+            if members is not None:
+                members.pop(fingerprint, None)
+                if not members:
+                    del self._table_index[table]
+        self._size -= 1
+
+    def _iter_templates(self):
+        for shard_key in sorted(self._shards):
+            yield from self._shards[shard_key].values()
+
+    def shard_budget(self) -> int:
+        """Per-shard slice of the capacity (at least one template)."""
+        return max(self.capacity // max(len(self._shards), 1), 1)
 
     # -- observation ------------------------------------------------------------
 
@@ -99,7 +160,7 @@ class TemplateStore:
         self.total_observed += 1
         self._window_arrivals += 1
 
-        template = self._templates.get(fingerprint)
+        template = self._get(fingerprint)
         if template is None:
             self._window_misses += 1
             self.total_new_templates += 1
@@ -108,8 +169,8 @@ class TemplateStore:
                 statement=parameterized.statement,
                 is_write=ast.is_write(statement),
             )
-            self._templates[fingerprint] = template
-            if len(self._templates) > self.capacity:
+            self._insert(template)
+            if self._size > self.capacity:
                 self._evict()
         template.frequency += 1.0
         template.window_frequency += 1.0
@@ -134,7 +195,7 @@ class TemplateStore:
         self.total_observed += 1
         self._window_arrivals += 1
 
-        template = self._templates.get(sql)
+        template = self._get(sql)
         if template is None:
             self._window_misses += 1
             self.total_new_templates += 1
@@ -143,8 +204,8 @@ class TemplateStore:
                 statement=statement,
                 is_write=ast.is_write(statement),
             )
-            self._templates[sql] = template
-            if len(self._templates) > self.capacity:
+            self._insert(template)
+            if self._size > self.capacity:
                 self._evict()
         template.frequency += 1.0
         template.window_frequency += 1.0
@@ -153,12 +214,22 @@ class TemplateStore:
         return template
 
     def _evict(self) -> None:
-        """Drop the least-frequently / least-recently matched template."""
+        """Drop the coldest template of the most over-budget shard.
+
+        The LRU budget is split evenly across shards; the shard most
+        over its slice pays the eviction (ties broken by shard name
+        for determinism) with its least-frequently / least-recently
+        matched template.
+        """
+        victim_shard = max(
+            sorted(self._shards),
+            key=lambda key: len(self._shards[key]),
+        )
         victim = min(
-            self._templates.values(),
+            self._shards[victim_shard].values(),
             key=lambda t: (t.frequency, t.last_seen),
         )
-        del self._templates[victim.fingerprint]
+        self._remove(victim.fingerprint)
 
     # -- drift handling ------------------------------------------------------------
 
@@ -178,11 +249,10 @@ class TemplateStore:
         :meth:`drift_detected` fires (the advisor does this).
         """
         removed = 0
-        for fingerprint in list(self._templates):
-            template = self._templates[fingerprint]
+        for template in list(self._iter_templates()):
             template.frequency *= self.decay_factor
             if template.frequency < self.cold_threshold:
-                del self._templates[fingerprint]
+                self._remove(template.fingerprint)
                 removed += 1
         self._window_arrivals = 0
         self._window_misses = 0
@@ -194,7 +264,7 @@ class TemplateStore:
 
     def begin_tuning_window(self) -> None:
         """Start a fresh observation window (after a tuning round)."""
-        for template in self._templates.values():
+        for template in self._iter_templates():
             template.window_frequency = 0.0
 
     # -- persistence -------------------------------------------------------------
@@ -216,7 +286,7 @@ class TemplateStore:
                     "sample_sql": t.sample_sql,
                     "is_write": t.is_write,
                 }
-                for t in self._templates.values()
+                for t in self._iter_templates()
             ],
         }
 
@@ -244,27 +314,56 @@ class TemplateStore:
                 sample_sql=entry.get("sample_sql", ""),
                 is_write=entry.get("is_write", False),
             )
-            store._templates[template.fingerprint] = template
+            store._insert(template)
         return store
 
     # -- access ----------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._templates)
+        return self._size
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._templates
+        return fingerprint in self._shard_of
 
     def get(self, fingerprint: str) -> Optional[QueryTemplate]:
-        return self._templates.get(fingerprint)
+        return self._get(fingerprint)
 
     def templates(self, top: Optional[int] = None) -> List[QueryTemplate]:
         """Templates sorted by descending frequency."""
         ordered = sorted(
-            self._templates.values(),
+            self._iter_templates(),
             key=lambda t: (-t.frequency, -t.last_seen),
         )
         return ordered if top is None else ordered[:top]
 
+    def templates_for_tables(
+        self,
+        tables: Iterable[str],
+        top: Optional[int] = None,
+    ) -> List[QueryTemplate]:
+        """Templates referencing any of ``tables``, hottest first.
+
+        This is the sharded fast path: only the affected shards (plus
+        secondary references via the table index) are touched, so a
+        configuration change on one table never scans the whole
+        store.
+        """
+        seen: Dict[str, None] = {}
+        for table in sorted(set(tables)):
+            for fingerprint in self._table_index.get(table, ()):
+                seen.setdefault(fingerprint, None)
+        matched = [self._get(fp) for fp in seen]
+        ordered = sorted(
+            (t for t in matched if t is not None),
+            key=lambda t: (-t.frequency, -t.last_seen),
+        )
+        return ordered if top is None else ordered[:top]
+
+    def shard_stats(self) -> Dict[str, int]:
+        """Template count per shard (shard key → size)."""
+        return {
+            key: len(self._shards[key]) for key in sorted(self._shards)
+        }
+
     def total_frequency(self) -> float:
-        return sum(t.frequency for t in self._templates.values())
+        return sum(t.frequency for t in self._iter_templates())

@@ -9,7 +9,7 @@ without anything being built — the hypopg mechanism of Section V.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.index import (
     Index,
@@ -164,11 +164,18 @@ class Catalog:
         hypothetical estimate, so the two must not share cached
         plans). Used as a plan/cost cache key component.
         """
+        return self.index_signature_of(self.visible_index_defs(table))
+
+    def index_signature_of(self, defs: Sequence[IndexDef]) -> Tuple:
+        """Signature of an explicit definition subset.
+
+        The planner keys its access-path memo on the subset of visible
+        indexes that can actually serve the probe (sargable lead
+        column), not the whole visible set — configurations differing
+        only in indexes irrelevant to a statement then share entries.
+        """
         return tuple(
-            sorted(
-                (d.key, self.is_materialized(d))
-                for d in self.visible_index_defs(table)
-            )
+            sorted((d.key, self.is_materialized(d)) for d in defs)
         )
 
     def index_shape(self, definition: IndexDef) -> IndexShape:

@@ -472,10 +472,24 @@ class Planner:
         """Choose the cheapest access path for one relation.
 
         Results are memoized on (table, binding, predicate, needed
-        columns, visible index signature, catalog version); the
+        columns, *servable* index signature, catalog version); the
         returned plan node must therefore never be mutated by callers
         — wrap it instead.
+
+        The signature component covers only the visible indexes whose
+        lead column is sargable for this predicate — the only ones
+        :meth:`_match_index` can turn into a plan. Keying on the full
+        visible set made every candidate configuration a unique key
+        (hypothetical indexes on unrelated columns churned it), so
+        repeated configurations never hit.
         """
+        eq_map, range_map = self._sargable_maps(predicate, binding)
+        servable = [
+            d
+            for d in self.catalog.visible_index_defs(table)
+            if d.columns
+            and (d.columns[0] in eq_map or d.columns[0] in range_map)
+        ]
         cache_key = None
         if self.plan_cache_enabled:
             cache_key = (
@@ -484,7 +498,7 @@ class Planner:
                 binding,
                 predicate,
                 None if needed_columns is None else frozenset(needed_columns),
-                self.catalog.table_index_signature(table),
+                self.catalog.index_signature_of(servable),
                 self.catalog.version,
             )
             cached = self.plan_cache.get(cache_key)
@@ -507,8 +521,7 @@ class Planner:
         )
         best: pl.PlanNode = seq
 
-        eq_map, range_map = self._sargable_maps(predicate, binding)
-        for index_def in self.catalog.visible_index_defs(table):
+        for index_def in servable:
             candidate = self._match_index(
                 index_def,
                 table,
@@ -692,6 +705,15 @@ class Planner:
         composite primary key (s_w_id, s_i_id) with a constant s_w_id
         and the join key s_i_id from the outer row.
         """
+        eq_map, _ranges = self._sargable_maps(local_predicate, binding)
+        # As in best_access_path, the memo key fingerprints only the
+        # indexes this probe could use: those reaching the join column
+        # through a prefix of locally-bound equality columns.
+        servable = [
+            d
+            for d in self.catalog.visible_index_defs(table)
+            if _param_usable(d, join_column, eq_map)
+        ]
         cache_key = None
         if self.plan_cache_enabled:
             cache_key = (
@@ -701,7 +723,7 @@ class Planner:
                 join_column,
                 outer_expr,
                 local_predicate,
-                self.catalog.table_index_signature(table),
+                self.catalog.index_signature_of(servable),
                 self.catalog.version,
             )
             cached = self.plan_cache.get(cache_key)
@@ -709,9 +731,8 @@ class Planner:
                 return cached or None  # False sentinel = "no path"
         self.access_paths_computed += 1
         stats = self.catalog.stats(table)
-        eq_map, _ranges = self._sargable_maps(local_predicate, binding)
         best: Optional[pl.IndexScanPlan] = None
-        for index_def in self.catalog.visible_index_defs(table):
+        for index_def in servable:
             eq_exprs: List[ast.Expr] = []
             prefix_sel = 1.0
             matched_join = False
@@ -1284,6 +1305,26 @@ def _require_literal(expr: ast.Expr) -> object:
 
         return apply_arith(expr.op, expr.left.value, expr.right.value)
     raise PlanningError(f"INSERT values must be literals, got {expr}")
+
+
+def _param_usable(
+    index_def: IndexDef,
+    join_column: str,
+    eq_map: Dict[str, ast.Expr],
+) -> bool:
+    """Can this index serve an index-NL probe on ``join_column``?
+
+    Mirrors the column walk in :meth:`Planner.parameterized_index_path`:
+    the join column must be reachable through a prefix of columns bound
+    by the inner relation's own equality filters.
+    """
+    for col in index_def.columns:
+        if col == join_column:
+            return True
+        if col in eq_map:
+            continue
+        return False
+    return False
 
 
 def _value_exprs_of(conj: ast.Expr) -> List[ast.Expr]:

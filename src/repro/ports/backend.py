@@ -104,6 +104,9 @@ class TuningBackend(Protocol):
     name: str
     monitor: WorkloadMonitor
     faults: Optional[FaultInjector]
+    #: True when the backend can be used from a forked child process
+    #: (MCTS gates its parallel rollout costing on this).
+    parallel_safe: bool
 
     # -- parse / fingerprint ------------------------------------------------
 
@@ -118,6 +121,20 @@ class TuningBackend(Protocol):
         statement: ast.Statement,
         config: Optional[Sequence[IndexDef]] = None,
     ) -> WhatIfCost: ...
+
+    def whatif_cost_batch(
+        self,
+        statements: Sequence[ast.Statement],
+        config: Optional[Sequence[IndexDef]] = None,
+    ) -> List[WhatIfCost]:
+        """Bulk what-if: one catalog overlay window for the batch.
+
+        Bitwise-equal to ``[whatif_cost(s, config) for s in
+        statements]`` — only the overlay bookkeeping is amortised.
+        Backends inherit this default; adapters owning a catalog
+        should override it with a genuinely batched implementation.
+        """
+        return [self.whatif_cost(s, config) for s in statements]
 
     def estimate_cost(
         self,

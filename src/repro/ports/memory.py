@@ -9,7 +9,7 @@ execution costs, deterministic everything.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.engine.cost import CostParams, DEFAULT_PARAMS
 from repro.engine.database import Database
@@ -19,7 +19,7 @@ from repro.engine.plan import PlanNode
 from repro.engine.schema import TableSchema
 from repro.engine.stats import TableStats
 from repro.ports.backend import WhatIfCost
-from repro.ports.whatif import planned_whatif
+from repro.ports.whatif import planned_whatif, planned_whatif_batch
 from repro.sql import ast
 from repro.sql.fingerprint import fingerprint as _fingerprint
 
@@ -28,6 +28,9 @@ class MemoryBackend(Database):
     """The in-process engine speaking :class:`TuningBackend`."""
 
     name = "memory"
+    #: Pure in-process state — a forked MCTS worker gets a coherent
+    #: copy-on-write snapshot, so parallel rollout costing is safe.
+    parallel_safe = True
 
     def __init__(
         self,
@@ -52,6 +55,18 @@ class MemoryBackend(Database):
             self.planner, self.catalog, statement, config
         )
         return cost
+
+    def whatif_cost_batch(
+        self,
+        statements: Sequence[ast.Statement],
+        config: Optional[Sequence[IndexDef]] = None,
+    ) -> List[WhatIfCost]:
+        return [
+            cost
+            for cost, _plan in planned_whatif_batch(
+                self.planner, self.catalog, statements, config
+            )
+        ]
 
     def estimate_cost(
         self,

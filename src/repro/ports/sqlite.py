@@ -51,7 +51,7 @@ from repro.engine.stats import (
     TableStats,
 )
 from repro.ports.backend import ExecutionOutcome, WhatIfCost
-from repro.ports.whatif import planned_whatif
+from repro.ports.whatif import planned_whatif, planned_whatif_batch
 from repro.sql import ast, parse
 from repro.sql.fingerprint import fingerprint as _fingerprint
 
@@ -153,6 +153,9 @@ class SqliteBackend:
     """A real SQLite database speaking :class:`TuningBackend`."""
 
     name = "sqlite"
+    #: An sqlite3 connection must not be used across a fork; MCTS
+    #: keeps rollout costing serial on this backend.
+    parallel_safe = False
 
     def __init__(
         self,
@@ -473,6 +476,18 @@ class SqliteBackend:
             self.planner, self.catalog, statement, config
         )
         return cost
+
+    def whatif_cost_batch(
+        self,
+        statements: Sequence[ast.Statement],
+        config: Optional[Sequence[IndexDef]] = None,
+    ) -> List[WhatIfCost]:
+        return [
+            cost
+            for cost, _plan in planned_whatif_batch(
+                self.planner, self.catalog, statements, config
+            )
+        ]
 
     def estimate_cost(
         self,

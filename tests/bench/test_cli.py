@@ -43,3 +43,50 @@ class TestSummarise:
         cli._summarise(({"x": 1}, {"y": 2}))
         out = capsys.readouterr().out
         assert "x: 1" in out and "y: 2" in out
+
+
+class TestPerfArguments:
+    def test_bad_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--perf", "mcts", "--workers", "0"])
+
+    def test_unknown_perf_target_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--perf", "nope"])
+
+
+class TestPerfBenchSmoke:
+    """Tiny end-to-end runs of the perf benchmarks."""
+
+    def test_mcts_perf_three_modes(self, tmp_path):
+        from repro.bench.perf import run_mcts_perf
+
+        out = tmp_path / "mcts.json"
+        report = run_mcts_perf(
+            iterations=6, rounds=2, out_path=str(out),
+            observe_queries=60, workers=2,
+        )
+        assert out.exists()
+        assert report["identical_result"] is True
+        for mode in ("full", "delta", "parallel"):
+            assert report[mode]["wall_seconds"] > 0
+        machine = report["machine"]
+        assert machine["workers_requested"] == 2
+        assert 1 <= machine["workers_effective"] <= 2
+        assert report["parallel"]["workers_used"] == (
+            machine["workers_effective"]
+        )
+
+    def test_ingest_perf(self, tmp_path):
+        from repro.bench.perf import run_ingest_perf
+
+        out = tmp_path / "ingest.json"
+        report = run_ingest_perf(
+            queries=300, out_path=str(out), diagnosis_every=100
+        )
+        assert out.exists()
+        assert report["queries_per_second"] > 0
+        assert report["diagnosis_passes"] == 3
+        assert report["templates"] == sum(
+            report["shard_stats"].values()
+        )

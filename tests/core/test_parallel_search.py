@@ -1,0 +1,207 @@
+"""Scale-out search guarantees: worker determinism and batch parity.
+
+The parallel rollout machinery promises that ``workers=N`` reproduces
+``workers=1`` byte for byte (rollout generation stays on the
+parent-side RNG; workers only cost materialised configs; results
+merge in submission order), and the vectorized batch costing promises
+exact float equality with the per-template scalar path. These tests
+pin both contracts on real workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import prepare_database
+from repro.core.candidates import CandidateGenerator
+from repro.core.estimator import BenefitEstimator
+from repro.core.mcts import MctsIndexSelector
+from repro.core.templates import TemplateStore
+from repro.engine.faults import FaultInjector, FaultPlan
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.tpcc import TpccWorkload
+
+
+def _observed(generator, observe: int, top: int):
+    db = prepare_database(generator)
+    store = TemplateStore()
+    for query in generator.queries(observe, seed=3):
+        store.observe(query.sql, db.parse_statement(query.sql))
+    templates = store.templates(top=top)
+    candidates = [
+        c.definition for c in CandidateGenerator(db).generate(templates)
+    ]
+    return db, templates, candidates
+
+
+@pytest.fixture(scope="module")
+def banking_setup():
+    return _observed(
+        BankingWorkload(accounts=800, txn_rows=2000, product_rows=100),
+        observe=120,
+        top=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def tpcc_setup():
+    return _observed(TpccWorkload(scale=1, seed=11), observe=200, top=80)
+
+
+def _search(db, templates, candidates, workers, seed, vectorized=True):
+    estimator = BenefitEstimator(db, vectorized=vectorized)
+    selector = MctsIndexSelector(
+        estimator,
+        iterations=24,
+        rollouts=2,
+        patience=10**9,
+        rng=random.Random(seed),
+        workers=workers,
+    )
+    existing = db.index_defs()
+    return selector.search(
+        existing=existing,
+        candidates=candidates,
+        templates=templates,
+        protected=[d for d in existing if d.unique],
+    )
+
+
+class TestWorkerDeterminism:
+    """``workers`` must never change what the search finds."""
+
+    @pytest.mark.parametrize("workload", ["banking", "tpcc"])
+    @pytest.mark.parametrize("seed", [17, 29])
+    def test_workers_bit_identical(
+        self, workload, seed, banking_setup, tpcc_setup
+    ):
+        db, templates, candidates = (
+            banking_setup if workload == "banking" else tpcc_setup
+        )
+        base = _search(db, templates, candidates, workers=1, seed=seed)
+        for workers in (2, 4):
+            result = _search(
+                db, templates, candidates, workers=workers, seed=seed
+            )
+            # Bitwise float equality and identical config sets — not
+            # approximate closeness.
+            assert result.best_benefit == base.best_benefit
+            assert frozenset(result.best_config) == frozenset(
+                base.best_config
+            )
+            assert result.evaluations == base.evaluations
+
+    def test_pool_actually_used(self, tpcc_setup):
+        """The determinism test must exercise the pool, not skip it."""
+        db, templates, candidates = tpcc_setup
+        result = _search(db, templates, candidates, workers=2, seed=17)
+        assert result.workers_used == 2
+
+    def test_serial_reports_one_worker(self, tpcc_setup):
+        db, templates, candidates = tpcc_setup
+        result = _search(db, templates, candidates, workers=1, seed=17)
+        assert result.workers_used == 1
+
+
+class TestParallelGating:
+    """The pool must stand down whenever correctness is at stake."""
+
+    def test_faults_force_serial(self, banking_setup):
+        db, templates, candidates = banking_setup
+        estimator = BenefitEstimator(db)
+        estimator.faults = FaultInjector(FaultPlan())
+        selector = MctsIndexSelector(
+            estimator, iterations=5, rollouts=2, seed=17, workers=4
+        )
+        assert not selector.parallel_available()
+
+    def test_unsafe_backend_forces_serial(self, banking_setup):
+        db, templates, candidates = banking_setup
+        estimator = BenefitEstimator(db)
+        selector = MctsIndexSelector(
+            estimator, iterations=5, rollouts=2, seed=17, workers=4
+        )
+        assert selector.parallel_available()
+        # An adapter that cannot survive a fork (instance attribute
+        # shadows the class default, as SqliteBackend sets).
+        db.parallel_safe = False
+        try:
+            assert not selector.parallel_available()
+        finally:
+            del db.parallel_safe
+
+    def test_sqlite_backend_is_marked_unsafe(self):
+        from repro.ports.sqlite import SqliteBackend
+
+        assert SqliteBackend.parallel_safe is False
+
+    def test_gated_search_still_deterministic(self, banking_setup):
+        """Even forced serial, workers>1 changes nothing."""
+        db, templates, candidates = banking_setup
+        base = _search(db, templates, candidates, workers=1, seed=29)
+        db.parallel_safe = False
+        try:
+            gated = _search(db, templates, candidates, workers=4, seed=29)
+        finally:
+            del db.parallel_safe
+        assert gated.workers_used == 1
+        assert gated.best_benefit == base.best_benefit
+        assert frozenset(gated.best_config) == frozenset(base.best_config)
+
+
+class TestBatchScalarParity:
+    """Vectorized batch costing == per-template scalar costing, exactly."""
+
+    @pytest.mark.parametrize("workload", ["banking", "tpcc"])
+    def test_workload_costs_exact(
+        self, workload, banking_setup, tpcc_setup
+    ):
+        db, templates, candidates = (
+            banking_setup if workload == "banking" else tpcc_setup
+        )
+        batched = BenefitEstimator(db)
+        scalar = BenefitEstimator(db, vectorized=False)
+        rng = random.Random(5)
+        for _ in range(12):
+            config = rng.sample(
+                candidates, k=rng.randrange(0, min(len(candidates), 8))
+            )
+            got = batched.workload_costs(templates, config)
+            want = scalar.workload_costs(templates, config)
+            assert got.tolist() == want.tolist()
+
+    def test_delta_matches_scalar_recompute(self, tpcc_setup):
+        db, templates, candidates = tpcc_setup
+        batched = BenefitEstimator(db)
+        scalar = BenefitEstimator(db, vectorized=False)
+        rng = random.Random(9)
+        parent = rng.sample(candidates, k=min(len(candidates), 5))
+        parent_costs = batched.workload_costs(templates, parent)
+        for _ in range(6):
+            child = list(parent)
+            child.remove(rng.choice(child))
+            child.append(
+                rng.choice([c for c in candidates if c not in child])
+            )
+            total, costs = batched.workload_cost_delta(
+                parent_costs, templates, parent, child
+            )
+            want = scalar.workload_costs(templates, child)
+            assert costs.tolist() == want.tolist()
+            assert total == float(want.sum())
+
+    def test_search_identical_across_estimator_modes(self, tpcc_setup):
+        db, templates, candidates = tpcc_setup
+        batched = _search(
+            db, templates, candidates, workers=1, seed=17, vectorized=True
+        )
+        scalar = _search(
+            db, templates, candidates, workers=1, seed=17, vectorized=False
+        )
+        assert batched.best_benefit == scalar.best_benefit
+        assert frozenset(batched.best_config) == frozenset(
+            scalar.best_config
+        )
+        assert batched.evaluations == scalar.evaluations
