@@ -24,6 +24,14 @@ assignment outside ``__init__``.  Attributes assigned only in
 non-init writes are ``+=``-style counters are instrumentation; both
 are exempt.  A ``get`` whose key is a bare parameter is skipped —
 the caller owns key construction.
+
+A third rule covers *versioned* key material: a cache key built from
+``normalize_sql()`` output must also carry ``NORMALIZER_VERSION``
+somewhere in its construction chain — a persisted or long-lived
+mapping built under one set of masking rules must never be consulted
+under another.  ``raw_key()`` is the blessed constructor (it embeds
+the version itself) and satisfies the rule without an explicit
+constant.
 """
 
 from __future__ import annotations
@@ -36,6 +44,14 @@ from repro.analysis.core import Checker, ModuleInfo, Violation, register
 
 #: Attribute-name fragments that identify a memoization store.
 _CACHE_NAME_HINTS = ("cache", "memo")
+
+#: Helpers whose output format is governed by a version constant: a
+#: cache key built from the helper must reference that constant too.
+#: (``raw_key`` embeds ``NORMALIZER_VERSION`` itself and is the
+#: preferred way to satisfy the rule.)
+_VERSIONED_HELPERS: Dict[str, str] = {
+    "normalize_sql": "NORMALIZER_VERSION",
+}
 
 
 def _is_cache_attr(name: str) -> bool:
@@ -244,6 +260,49 @@ def _covered_params(
     return covered
 
 
+def _key_chain(
+    key_expr: ast.expr, assignments: Dict[str, List[ast.expr]]
+) -> List[ast.expr]:
+    """Every expression reachable from the key via local assignments."""
+    exprs: List[ast.expr] = []
+    seen: Set[str] = set()
+    frontier: List[ast.expr] = [key_expr]
+    while frontier:
+        expr = frontier.pop()
+        exprs.append(expr)
+        for name in _expr_names(expr):
+            if name not in seen:
+                seen.add(name)
+                frontier.extend(assignments.get(name, []))
+    return exprs
+
+
+def _chain_calls(exprs: List[ast.expr]) -> Set[str]:
+    """Function names called anywhere in the chain (bare or ``x.f()``)."""
+    names: Set[str] = set()
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if isinstance(callee, ast.Name):
+                    names.add(callee.id)
+                elif isinstance(callee, ast.Attribute):
+                    names.add(callee.attr)
+    return names
+
+
+def _chain_references(exprs: List[ast.expr]) -> Set[str]:
+    """Bare names and attribute names mentioned anywhere in the chain."""
+    names: Set[str] = set()
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+    return names
+
+
 def _region_nodes(
     func: ast.FunctionDef, start: int, end: int
 ) -> Iterable[ast.AST]:
@@ -341,6 +400,24 @@ class CacheKeyChecker(Checker):
             for expr in key_exprs:
                 covered |= _covered_params(expr, params, assignments)
                 key_attrs |= _expr_self_attrs(expr)
+
+            chain = _key_chain(pattern.key_expr, assignments)
+            chain_calls = _chain_calls(chain)
+            chain_refs = _chain_references(chain)
+            for helper, version in sorted(_VERSIONED_HELPERS.items()):
+                if helper in chain_calls and version not in chain_refs:
+                    yield Violation(
+                        rule="cache-key",
+                        path=module.rel_path,
+                        line=pattern.get_line,
+                        message=(
+                            f"key of 'self.{pattern.cache_attr}' in "
+                            f"{func.name}() is built from {helper}() "
+                            f"but does not include {version} (use "
+                            f"raw_key(), or add the constant to the "
+                            f"key)"
+                        ),
+                    )
 
             region = list(
                 _region_nodes(func, pattern.get_line, pattern.put_line)

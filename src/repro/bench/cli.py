@@ -126,7 +126,8 @@ def _summarise(result: object, indent: str = "  ") -> None:
 
 
 def run_perf(
-    target: str, iterations: int, rounds: int, out: str, workers: int
+    target: str, iterations: int, rounds: int, out: str, workers: int,
+    queries: int = 4000,
 ) -> int:
     """Dispatch a performance benchmark (``--perf mcts|ingest``)."""
     if target == "mcts":
@@ -144,12 +145,15 @@ def run_perf(
     if target == "ingest":
         from repro.bench.perf import render_ingest_perf, run_ingest_perf
 
-        print("=== perf: template ingest + diagnosis throughput ===")
-        report = run_ingest_perf(out_path=out)
+        print(
+            "=== perf: ingest modes "
+            "(full-parse/cached/cached+incremental) ==="
+        )
+        report = run_ingest_perf(queries=queries, out_path=out)
         for line in render_ingest_perf(report):
             print("  " + line)
         print(f"  written to {out}")
-        return 0
+        return 0 if report["identical_result"] else 1
     print(f"unknown perf target {target!r}")  # argparse guards this
     return 2
 
@@ -224,6 +228,10 @@ def main(argv: List[str] | None = None) -> int:
         help="total MCTS iterations for --perf (default 200)",
     )
     parser.add_argument(
+        "--queries", type=int, default=4000,
+        help="queries per mode for --perf ingest (default 4000)",
+    )
+    parser.add_argument(
         "--rounds", type=int, default=6,
         help="tuning rounds to split iterations over (default 6)",
     )
@@ -257,9 +265,12 @@ def main(argv: List[str] | None = None) -> int:
             parser.error("--rounds must be >= 1")
         if args.workers < 1:
             parser.error("--workers must be >= 1")
+        if args.queries < 1:
+            parser.error("--queries must be >= 1")
         out = args.out or f"BENCH_{args.perf}.json"
         return run_perf(
-            args.perf, args.iterations, args.rounds, out, args.workers
+            args.perf, args.iterations, args.rounds, out, args.workers,
+            queries=args.queries,
         )
     if args.backend:
         return run_backend(args.backend, args.seed)

@@ -81,6 +81,7 @@ class AutoIndexAdvisor:
         mcts_max_evaluations: Optional[int] = None,
         mcts_workers: int = 1,
         pipeline: Optional[TuningPipeline] = None,
+        incremental_diagnosis: bool = True,
     ):
         self.db = db
         self.storage_budget = storage_budget
@@ -88,7 +89,13 @@ class AutoIndexAdvisor:
         self.use_templates = use_templates
         self.train_sample_rate = train_sample_rate
         self.mcts_deadline_seconds = mcts_deadline_seconds
-        self.store = TemplateStore(capacity=template_capacity)
+        # The store parses through the backend on raw-cache misses,
+        # keeping the engine's statement cache and injected parser
+        # faults on the miss path.
+        self.store = TemplateStore(
+            capacity=template_capacity,
+            parse_fn=db.parse_statement,
+        )
         self.generator = CandidateGenerator(
             db, selectivity_threshold=selectivity_threshold
         )
@@ -109,7 +116,10 @@ class AutoIndexAdvisor:
             max_evaluations=mcts_max_evaluations,
             workers=mcts_workers,
         )
-        self.diagnosis = IndexDiagnosis(db, self.store, self.generator)
+        self.diagnosis = IndexDiagnosis(
+            db, self.store, self.generator,
+            incremental=incremental_diagnosis,
+        )
         self.pipeline = (
             pipeline if pipeline is not None else TuningPipeline()
         )
@@ -133,14 +143,19 @@ class AutoIndexAdvisor:
         injected parser fault) is dropped and counted in
         ``observe_failures`` — observation is on the hot path of the
         serving workload and must never take it down.
+
+        The store owns the parse now (via its raw-key fast path):
+        repeated statement shapes resolve through a lex-only
+        normalization and never reach the parser; only cache misses
+        parse, through ``db.parse_statement`` with its statement
+        cache and fault points intact.
         """
-        try:
-            statement = self.db.parse_statement(sql)
-        except (SqlSyntaxError, FaultError):
-            self.observe_failures += 1
-            return None
         if self.use_templates:
-            template = self.store.observe(sql, statement)
+            try:
+                template = self.store.observe(sql)
+            except (SqlSyntaxError, FaultError):
+                self.observe_failures += 1
+                return None
             if template.frequency <= 1.0:
                 # Only brand-new templates cost analysis work.
                 self.statements_analyzed += 1
@@ -149,8 +164,13 @@ class AutoIndexAdvisor:
             return template
         # Query-level ablation: no compression, every statement is
         # analysed individually (raw SQL text is the store key).
+        try:
+            template = self.store.observe_raw(sql)
+        except (SqlSyntaxError, FaultError):
+            self.observe_failures += 1
+            return None
         self.statements_analyzed += 1
-        return self.store.observe_raw(sql, statement)
+        return template
 
     def observe_queries(self, queries: Sequence) -> None:
         """Observe a batch (items may be Query objects or SQL strings)."""
@@ -234,8 +254,14 @@ class AutoIndexAdvisor:
             faults=faults,
         )
         if store is not None:
+            # The checkpoint carries no raw-key cache (it is a pure
+            # derivative); rebind the backend parser for misses and
+            # drop the diagnosis caches, which reference the old
+            # store's shard versions.
+            store.parse_fn = self.db.parse_statement
             self.store = store
             self.diagnosis.store = store
+            self.diagnosis.invalidate_caches()
         model = checkpoint.read_component(
             directory,
             "estimator.npz",

@@ -74,10 +74,27 @@ class CandidateGenerator:
     ) -> List[CandidateIndex]:
         """Candidates for a set of templates: extracted, merged, and
         filtered against already-existing indexes."""
+        return self.generate_from(
+            (template, self.for_statement(template.statement))
+            for template in templates
+        )
+
+    def generate_from(
+        self,
+        pairs: Sequence[Tuple[QueryTemplate, Sequence[IndexDef]]],
+    ) -> List[CandidateIndex]:
+        """Merge pre-extracted per-template candidates.
+
+        ``pairs`` holds ``(template, for_statement(template.statement))``
+        tuples; incremental diagnosis caches the extraction per
+        fingerprint and feeds the cached lists through here, so the
+        merge/filter pipeline — and therefore the output — is shared
+        verbatim with :meth:`generate`.
+        """
         collected: Dict[Tuple, CandidateIndex] = {}
-        for template in templates:
+        for template, definitions in pairs:
             weight = max(template.weight, 1.0)
-            for definition in self.for_statement(template.statement):
+            for definition in definitions:
                 candidate = CandidateIndex(
                     definition=definition,
                     support=weight,

@@ -60,7 +60,29 @@ class IndexProblemReport:
 
 
 class IndexDiagnosis:
-    """Classifies index problems from usage metrics and templates."""
+    """Classifies index problems from usage metrics and templates.
+
+    With ``incremental=True`` (the default) each pass reuses work
+    from the previous one instead of re-scanning everything:
+
+    * **classification** (rarely-used / negative indexes) is keyed on
+      ``(monitor.total_queries, catalog_version, usage_epoch,
+      protected set)`` — when none of those moved since the last
+      pass, the previous lists are reused verbatim;
+    * **top templates** come from per-shard snapshots validated
+      against :meth:`TemplateStore.shard_versions` dirty counters —
+      only shards that changed since the last pass are re-read;
+    * **candidate extraction** (the expensive DNF walk in
+      :meth:`CandidateGenerator.for_statement`) is cached per
+      template fingerprint while the backend's catalog version is
+      unchanged; the merge/filter stage runs through
+      :meth:`CandidateGenerator.generate_from`, the exact code the
+      full path uses.
+
+    ``incremental=False`` pins the original full-scan path; the
+    parity suite asserts both paths produce equal reports on the
+    same inputs.
+    """
 
     def __init__(
         self,
@@ -72,6 +94,7 @@ class IndexDiagnosis:
         min_candidate_support: float = 3.0,
         revert_window: int = 2,
         revert_min_maintenance: int = 20,
+        incremental: bool = True,
     ):
         self.db = db
         self.store = store
@@ -88,6 +111,26 @@ class IndexDiagnosis:
         self.revert_window = revert_window
         self.revert_min_maintenance = revert_min_maintenance
         self._watched: Dict[Tuple, Tuple[IndexDef, int]] = {}
+        self.incremental = incremental
+        #: shard key → (shard version, [(sort key, template), ...]).
+        self._shard_snapshots: Dict[str, Tuple[int, List]] = {}
+        #: fingerprint → raw per-statement candidates (with scope
+        #: variants), valid while the catalog version is unchanged.
+        self._extraction_cache: Dict[str, List[IndexDef]] = {}
+        self._extraction_catalog_version: object = None
+        self._class_signature: object = None
+        self._class_result: Tuple[int, List[IndexDef], List[IndexDef]] = (
+            0, [], [],
+        )
+
+    def invalidate_caches(self) -> None:
+        """Drop every incremental cache (after a checkpoint restore
+        or any out-of-band store/backend swap)."""
+        self._shard_snapshots.clear()
+        self._extraction_cache.clear()
+        self._extraction_catalog_version = None
+        self._class_signature = None
+        self._class_result = (0, [], [])
 
     def diagnose(
         self,
@@ -95,6 +138,100 @@ class IndexDiagnosis:
         top_templates: int = 100,
     ) -> IndexProblemReport:
         """Produce the current problem report."""
+        if not self.incremental:
+            return self._diagnose_full(protected, top_templates)
+        report = IndexProblemReport(
+            regression=self.db.monitor.regression_detected()
+        )
+        protected_keys: Set = {d.key for d in protected}
+
+        if self.db.monitor.total_queries >= self.min_observations:
+            signature = (
+                self.db.monitor.total_queries,
+                self.db.catalog_version(),
+                self.db.usage_epoch(),
+                frozenset(protected_keys),
+            )
+            if signature != self._class_signature:
+                considered = 0
+                rarely_used: List[IndexDef] = []
+                negative: List[IndexDef] = []
+                for usage in self.db.index_usage():
+                    if usage.definition.key in protected_keys:
+                        continue
+                    considered += 1
+                    if usage.lookups == 0:
+                        rarely_used.append(usage.definition)
+                    elif (
+                        usage.maintenance_ops
+                        > usage.lookups * self.negative_maintenance_factor
+                    ):
+                        negative.append(usage.definition)
+                self._class_signature = signature
+                self._class_result = (considered, rarely_used, negative)
+            considered, rarely_used, negative = self._class_result
+            report.considered = considered
+            report.rarely_used = list(rarely_used)
+            report.negative = list(negative)
+
+        catalog_version = self.db.catalog_version()
+        if catalog_version != self._extraction_catalog_version:
+            # Schema or statistics moved: every cached extraction
+            # (selectivity gates, scope variants, join directions)
+            # is suspect. Start over.
+            self._extraction_cache.clear()
+            self._extraction_catalog_version = catalog_version
+        pairs = []
+        for template in self._top_templates(top_templates):
+            definitions = self._extraction_cache.get(template.fingerprint)
+            if definitions is None:
+                definitions = self.generator.for_statement(
+                    template.statement
+                )
+                self._extraction_cache[template.fingerprint] = definitions
+            pairs.append((template, definitions))
+        for candidate in self.generator.generate_from(pairs):
+            if candidate.support >= self.min_candidate_support:
+                report.missing_beneficial.append(candidate.definition)
+
+        report.auto_revert = self.check_applied(consume=False)
+        return report
+
+    def _top_templates(self, top: int) -> List:
+        """The store's hottest templates via dirty-shard snapshots.
+
+        Re-reads only shards whose version moved since the last pass;
+        clean shards contribute their cached ``(sort key, template)``
+        entries. Concatenation in sorted-shard-key order followed by a
+        stable sort reproduces ``store.templates(top=...)`` exactly.
+        """
+        versions = self.store.shard_versions()
+        snapshots = self._shard_snapshots
+        for shard_key in [k for k in snapshots if k not in versions]:
+            del snapshots[shard_key]
+        merged: List = []
+        for shard_key in sorted(versions):
+            version = versions[shard_key]
+            cached = snapshots.get(shard_key)
+            if cached is None or cached[0] != version:
+                entries = [
+                    ((-t.frequency, -t.last_seen), t)
+                    for t in self.store.shard_templates(shard_key)
+                ]
+                snapshots[shard_key] = (version, entries)
+            else:
+                entries = cached[1]
+            merged.extend(entries)
+        merged.sort(key=lambda pair: pair[0])
+        return [template for _key, template in merged[:top]]
+
+    def _diagnose_full(
+        self,
+        protected: Sequence[IndexDef],
+        top_templates: int,
+    ) -> IndexProblemReport:
+        """The pinned pre-incremental path: full usage scan + full
+        candidate generation, no caches consulted or populated."""
         report = IndexProblemReport(
             regression=self.db.monitor.regression_detected()
         )

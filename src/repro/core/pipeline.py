@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.candidates import CandidateGenerator, CandidateIndex
 from repro.core.changeset import IndexChangeSet
-from repro.core.diagnosis import IndexDiagnosis
+from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
 from repro.core.estimator import BenefitEstimator, EstimatorUnavailable
 from repro.core.mcts import MctsIndexSelector, SearchResult
 from repro.core.templates import QueryTemplate, TemplateStore
@@ -168,6 +168,7 @@ class TuningContext:
     templates: Sequence[QueryTemplate] = ()
     candidates: Sequence[CandidateIndex] = ()
     existing: List[IndexDef] = field(default_factory=list)
+    problems: Optional[IndexProblemReport] = None
     result: Optional[SearchResult] = None
     done: bool = False
 
@@ -233,6 +234,7 @@ class DiagnoseStage:
         problems = ctx.diagnosis.diagnose(
             protected=ctx.protected, top_templates=ctx.top_templates
         )
+        ctx.problems = problems
         if not problems.should_tune(ctx.trigger_threshold):
             ctx.report.skipped = True
             ctx.done = True

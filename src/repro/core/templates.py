@@ -14,11 +14,13 @@ Section IV-A step 1 and Section IV-C of the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sql import ast, parse
 from repro.sql.fingerprint import parameterize
+from repro.sql.normalize import raw_key
 
 
 @dataclass
@@ -74,6 +76,17 @@ class TemplateStore:
     is divided evenly over the active shards and eviction charges the
     shard most over its share, dropping that shard's coldest
     template.
+
+    Ingest fast path: :meth:`observe` first normalises the raw SQL
+    (:func:`repro.sql.normalize.normalize_sql`, a lex-only pass) and
+    looks the key up in a bounded LRU ``raw key → fingerprint`` cache.
+    A hit skips parse + parameterization entirely; only misses pay the
+    full pipeline and populate the cache. Entries die with their
+    fingerprint (:meth:`_remove` invalidates, covering eviction and
+    drift), and every ``parity_check_every``-th hit is re-parsed and
+    asserted against the cached fingerprint. The cache is bypassed —
+    not populated — when the caller supplies a pre-parsed statement,
+    whose text may not be what the store would parse ``sql`` into.
     """
 
     def __init__(
@@ -83,12 +96,22 @@ class TemplateStore:
         cold_threshold: float = 1.0,
         drift_window: int = 200,
         drift_miss_ratio: float = 0.6,
+        raw_cache_size: int = 4096,
+        parity_check_every: int = 256,
+        parse_fn: Optional[Callable[[str], ast.Statement]] = None,
     ):
         self.capacity = capacity
         self.decay_factor = decay_factor
         self.cold_threshold = cold_threshold
         self.drift_window = drift_window
         self.drift_miss_ratio = drift_miss_ratio
+        #: 0 disables the raw-key fast path (full-parse mode).
+        self.raw_cache_size = raw_cache_size
+        #: every Nth cache hit is re-parsed and compared; 0 disables.
+        self.parity_check_every = parity_check_every
+        #: parser used on cache misses — injectable so an engine's
+        #: statement cache / fault points stay on the miss path.
+        self.parse_fn = parse_fn if parse_fn is not None else parse
         #: shard key (primary table, "" when table-less) → templates.
         self._shards: Dict[str, Dict[str, QueryTemplate]] = {}
         self._shard_of: Dict[str, str] = {}
@@ -101,6 +124,18 @@ class TemplateStore:
         self._window_misses = 0
         self.total_observed = 0
         self.total_new_templates = 0
+        #: LRU ``(version, normalized text) → fingerprint``.
+        self._raw_cache: "OrderedDict[Tuple[int, str], str]" = OrderedDict()
+        #: reverse index fingerprint → raw keys, for invalidation.
+        self._raw_keys: Dict[str, Dict[Tuple[int, str], None]] = {}
+        self.raw_cache_hits = 0
+        self.raw_cache_misses = 0
+        self.parity_checks = 0
+        #: monotone change counters consumed by incremental diagnosis:
+        #: ``version`` bumps on any mutation, ``_shard_versions`` per
+        #: affected shard, so a diagnosis pass can skip clean shards.
+        self.version = 0
+        self._shard_versions: Dict[str, int] = {}
 
     # -- shard plumbing ----------------------------------------------------------
 
@@ -124,6 +159,7 @@ class TemplateStore:
                 template.fingerprint
             ] = None
         self._size += 1
+        self._touch(shard_key)
 
     def _remove(self, fingerprint: str) -> None:
         shard_key = self._shard_of.pop(fingerprint)
@@ -138,6 +174,25 @@ class TemplateStore:
                 if not members:
                     del self._table_index[table]
         self._size -= 1
+        self._touch(shard_key)
+        # Cache coherence: raw keys resolving to a dead fingerprint
+        # must die with it, whether the removal came from LRU eviction
+        # or drift cleanup — a later observe of the same shape must
+        # take the miss path and re-create the template, never
+        # resurrect a stale mapping.
+        for key in self._raw_keys.pop(fingerprint, ()):
+            self._raw_cache.pop(key, None)
+
+    def _touch(self, shard_key: str) -> None:
+        """Record a mutation for incremental-diagnosis dirty tracking."""
+        self.version += 1
+        self._shard_versions[shard_key] = (
+            self._shard_versions.get(shard_key, 0) + 1
+        )
+
+    def shard_versions(self) -> Dict[str, int]:
+        """Per-shard mutation counters (shard key → version)."""
+        return dict(self._shard_versions)
 
     def _iter_templates(self):
         for shard_key in sorted(self._shards):
@@ -147,36 +202,143 @@ class TemplateStore:
         """Per-shard slice of the capacity (at least one template)."""
         return max(self.capacity // max(len(self._shards), 1), 1)
 
+    def shard_templates(self, shard_key: str) -> List[QueryTemplate]:
+        """Templates of one shard in insertion order (empty if gone)."""
+        shard = self._shards.get(shard_key)
+        return list(shard.values()) if shard else []
+
     # -- observation ------------------------------------------------------------
 
     def observe(self, sql: str, statement: Optional[ast.Statement] = None
                 ) -> QueryTemplate:
-        """Match one query against the store (creating if new)."""
-        if statement is None:
-            statement = parse(sql)
-        parameterized = parameterize(statement)
-        fingerprint = parameterized.fingerprint
+        """Match one query against the store (creating if new).
+
+        When no pre-parsed ``statement`` is supplied the raw-key fast
+        path applies (see the class docstring); a supplied statement
+        bypasses the cache in both directions — it is neither
+        consulted (the statement may not equal what ``sql`` parses to)
+        nor populated from it.
+        """
+        if statement is not None:
+            parameterized = parameterize(statement)
+            template = self._get(parameterized.fingerprint)
+            if template is None:
+                template = self._create(
+                    parameterized.fingerprint,
+                    parameterized.statement,
+                    ast.is_write(statement),
+                )
+        else:
+            template = self._match_raw(sql)
         self._clock += 1
         self.total_observed += 1
         self._window_arrivals += 1
+        self._bump(template, sql)
+        return template
 
+    def _match_raw(self, sql: str) -> QueryTemplate:
+        """Resolve ``sql`` to its template via the raw-key cache.
+
+        Misses (and a ``raw_cache_size`` of 0) fall back to the full
+        parse → parameterize pipeline and populate the cache. Raises
+        before any store counter moves, exactly like the pre-cache
+        code, so error paths are mode-identical.
+        """
+        key = None
+        if self.raw_cache_size:
+            key = raw_key(sql)
+            fingerprint = self._raw_cache.get(key)
+            if fingerprint is not None:
+                template = self._get(fingerprint)
+                if template is not None:
+                    self.raw_cache_hits += 1
+                    self._raw_cache.move_to_end(key)
+                    if (
+                        self.parity_check_every
+                        and self.raw_cache_hits % self.parity_check_every
+                        == 0
+                    ):
+                        self._assert_parity(sql, fingerprint)
+                    return template
+                # The fingerprint died without going through _remove
+                # (e.g. a store rebuilt from a checkpoint): drop the
+                # stale entry and fall through to the miss path.
+                self._drop_raw_entry(key, fingerprint)
+        self.raw_cache_misses += 1
+        statement = self.parse_fn(sql)
+        parameterized = parameterize(statement)
+        fingerprint = parameterized.fingerprint
+        if key is not None:
+            self._raw_cache[key] = fingerprint
+            self._raw_keys.setdefault(fingerprint, {})[key] = None
+            if len(self._raw_cache) > self.raw_cache_size:
+                old_key, old_fp = self._raw_cache.popitem(last=False)
+                self._drop_raw_entry(old_key, old_fp, keep_forward=True)
         template = self._get(fingerprint)
         if template is None:
-            self._window_misses += 1
-            self.total_new_templates += 1
-            template = QueryTemplate(
-                fingerprint=fingerprint,
-                statement=parameterized.statement,
-                is_write=ast.is_write(statement),
+            template = self._create(
+                fingerprint,
+                parameterized.statement,
+                ast.is_write(statement),
             )
-            self._insert(template)
-            if self._size > self.capacity:
-                self._evict()
+        return template
+
+    def _drop_raw_entry(
+        self,
+        key: Tuple[int, str],
+        fingerprint: str,
+        keep_forward: bool = False,
+    ) -> None:
+        if not keep_forward:
+            self._raw_cache.pop(key, None)
+        members = self._raw_keys.get(fingerprint)
+        if members is not None:
+            members.pop(key, None)
+            if not members:
+                del self._raw_keys[fingerprint]
+
+    def _assert_parity(self, sql: str, fingerprint: str) -> None:
+        """Fast-path guard: a cache hit must reproduce the parsed
+        fingerprint. Uses the pure parser (no injected faults) — this
+        audits the normalizer, not the engine."""
+        self.parity_checks += 1
+        audited = parameterize(parse(sql)).fingerprint
+        if audited != fingerprint:
+            raise AssertionError(
+                "raw-key cache parity violation: %r resolved to %r "
+                "but parses to %r" % (sql, fingerprint, audited)
+            )
+
+    def _create(
+        self,
+        fingerprint: str,
+        statement: ast.Statement,
+        is_write: bool,
+    ) -> QueryTemplate:
+        self._window_misses += 1
+        self.total_new_templates += 1
+        template = QueryTemplate(
+            fingerprint=fingerprint,
+            statement=statement,
+            is_write=is_write,
+        )
+        self._insert(template)
+        if self._size > self.capacity:
+            self._evict()
+        return template
+
+    def _bump(self, template: QueryTemplate, sql: str) -> None:
         template.frequency += 1.0
         template.window_frequency += 1.0
         template.last_seen = self._clock
         template.sample_sql = sql
-        return template
+        shard_key = self._shard_of.get(template.fingerprint)
+        if shard_key is not None:
+            self._touch(shard_key)
+        # else: a full store evicted the just-created template before
+        # its first bump; the caller still gets the detached object
+        # (pre-fast-path behaviour) and the eviction already dirtied
+        # the shard.
 
     def observe_raw(self, sql: str, statement: Optional[ast.Statement] = None
                     ) -> QueryTemplate:
@@ -187,30 +349,19 @@ class TemplateStore:
         its own "template", keyed by the raw text rather than the
         parameterized fingerprint. Shares the store's clock, window
         counters, and capacity eviction with :meth:`observe` so the
-        two paths are directly comparable.
+        two paths are directly comparable. The raw text *is* the
+        store key here, so the fast path is simply a hit on it — the
+        parse is skipped whenever the exact string is already stored.
         """
-        if statement is None:
-            statement = parse(sql)
+        template = self._get(sql)
+        if template is None:
+            if statement is None:
+                statement = self.parse_fn(sql)
+            template = self._create(sql, statement, ast.is_write(statement))
         self._clock += 1
         self.total_observed += 1
         self._window_arrivals += 1
-
-        template = self._get(sql)
-        if template is None:
-            self._window_misses += 1
-            self.total_new_templates += 1
-            template = QueryTemplate(
-                fingerprint=sql,
-                statement=statement,
-                is_write=ast.is_write(statement),
-            )
-            self._insert(template)
-            if self._size > self.capacity:
-                self._evict()
-        template.frequency += 1.0
-        template.window_frequency += 1.0
-        template.last_seen = self._clock
-        template.sample_sql = sql
+        self._bump(template, sql)
         return template
 
     def _evict(self) -> None:
@@ -254,6 +405,10 @@ class TemplateStore:
             if template.frequency < self.cold_threshold:
                 self._remove(template.fingerprint)
                 removed += 1
+        # Survivors' frequencies changed too: dirty every live shard
+        # so incremental diagnosis re-reads them.
+        for shard_key in sorted(self._shards):
+            self._touch(shard_key)
         self._window_arrivals = 0
         self._window_misses = 0
         return removed
@@ -266,6 +421,8 @@ class TemplateStore:
         """Start a fresh observation window (after a tuning round)."""
         for template in self._iter_templates():
             template.window_frequency = 0.0
+        for shard_key in sorted(self._shards):
+            self._touch(shard_key)
 
     # -- persistence -------------------------------------------------------------
 
@@ -363,6 +520,15 @@ class TemplateStore:
         """Template count per shard (shard key → size)."""
         return {
             key: len(self._shards[key]) for key in sorted(self._shards)
+        }
+
+    def raw_cache_stats(self) -> Dict[str, int]:
+        """Fast-path counters (for benches and tests)."""
+        return {
+            "hits": self.raw_cache_hits,
+            "misses": self.raw_cache_misses,
+            "size": len(self._raw_cache),
+            "parity_checks": self.parity_checks,
         }
 
     def total_frequency(self) -> float:

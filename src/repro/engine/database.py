@@ -71,6 +71,10 @@ class Database:
         self.planner = Planner(self.catalog, params, faults=faults)
         self.monitor = WorkloadMonitor()
         self._statement_cache: Dict[str, ast.Statement] = {}
+        # Bumped whenever usage counters are reset out-of-band (the
+        # catalog version does not move then); incremental diagnosis
+        # keys its classification reuse on this.
+        self._usage_epoch = 0
 
     # ------------------------------------------------------------------
     # DDL
@@ -367,3 +371,8 @@ class Database:
         for ix in self.catalog.real_indexes():
             ix.lookup_count = 0
             ix.maintenance_count = 0
+        self._usage_epoch += 1
+
+    def usage_epoch(self) -> int:
+        """Monotone counter of out-of-band usage-counter resets."""
+        return self._usage_epoch

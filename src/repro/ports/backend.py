@@ -185,3 +185,12 @@ class TuningBackend(Protocol):
     def index_usage(self) -> List[IndexUsage]: ...
 
     def reset_index_usage(self) -> None: ...
+
+    def usage_epoch(self) -> int:
+        """Monotone counter bumped by :meth:`reset_index_usage`.
+
+        Usage resets do not move the catalog version; incremental
+        diagnosis needs both to know whether cached classifications
+        are still current.
+        """
+        ...

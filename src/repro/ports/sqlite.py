@@ -169,6 +169,7 @@ class SqliteBackend:
         self.planner = Planner(self.catalog, params, faults=faults)
         self.monitor = WorkloadMonitor()
         self._statement_cache: Dict[str, ast.Statement] = {}
+        self._usage_epoch = 0
 
     # ------------------------------------------------------------------
     # DDL
@@ -526,3 +527,8 @@ class SqliteBackend:
         for ix in self.catalog.real_indexes():
             ix.lookup_count = 0
             ix.maintenance_count = 0
+        self._usage_epoch += 1
+
+    def usage_epoch(self) -> int:
+        """Monotone counter of out-of-band usage-counter resets."""
+        return self._usage_epoch

@@ -33,6 +33,7 @@ from repro.sql.ast import (
 from repro.sql.lexer import Lexer, SqlSyntaxError, Token, TokenType
 from repro.sql.parser import Parser, parse
 from repro.sql.fingerprint import fingerprint, parameterize
+from repro.sql.normalize import NORMALIZER_VERSION, normalize_sql, raw_key
 from repro.sql.predicates import (
     classify_conjuncts,
     conjuncts_of,
@@ -54,6 +55,7 @@ __all__ = [
     "Lexer",
     "Like",
     "Literal",
+    "NORMALIZER_VERSION",
     "Not",
     "Or",
     "OrderItem",
@@ -71,8 +73,10 @@ __all__ = [
     "classify_conjuncts",
     "conjuncts_of",
     "fingerprint",
+    "normalize_sql",
     "parameterize",
     "parse",
+    "raw_key",
     "referenced_columns",
     "to_dnf",
 ]

@@ -1,10 +1,25 @@
-"""Hand-written tokenizer for the engine's SQL dialect."""
+"""Hand-written tokenizer for the engine's SQL dialect.
+
+Two surfaces over the same lexical grammar:
+
+* :class:`Lexer` / :func:`tokenize` — the parser's token stream:
+  rich :class:`Token` objects with positions, unquoted string
+  values, and ``matches`` helpers;
+* :func:`scan` — the ingest fast path: one compiled master regex
+  producing bare ``(kind, value)`` tuples, several times faster
+  because no Token objects are allocated. Token boundaries and error
+  conditions mirror the Lexer exactly (the raw-key normalizer's
+  soundness depends on it); only the surface differs — string values
+  stay quoted (callers mask them anyway) and error positions may
+  differ on malformed input.
+"""
 
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 class SqlSyntaxError(ValueError):
@@ -69,9 +84,14 @@ _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
 _PUNCT = "(),."
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
-    """A single lexical token."""
+    """A single lexical token.
+
+    ``slots=True`` matters here: the ingest fast path lexes every
+    observed statement, so token allocation is the dominant cost of
+    :func:`repro.sql.normalize.normalize_sql`.
+    """
 
     type: TokenType
     value: str
@@ -198,3 +218,90 @@ class Lexer:
 def tokenize(text: str) -> List[Token]:
     """Convenience wrapper: tokenize ``text`` into a token list."""
     return Lexer(text).tokens()
+
+
+# Master scanning regex for :func:`scan`. Each match consumes any
+# leading whitespace/comments plus exactly one token, so the Python
+# loop runs once per token, not once per gap. Alternation order
+# encodes the Lexer's precedence: comments beat the ``-`` operator,
+# ``.5`` lexes as a number while a bare ``.`` is punctuation, and the
+# unrolled string body (``'' `` escapes) never backtracks. The
+# whitespace prefix is possessive (``*+``): without it, a trailing
+# comment would backtrack to surrender its last characters as a fake
+# token (``-- done`` → comment ``-- don`` + ident ``e``).
+_WS_PATTERN = r"(?:\s+|--[^\n]*+\n?)*+"
+_SCAN_RE = re.compile(
+    _WS_PATTERN +
+    r"(?:(?P<string>'[^']*(?:''[^']*)*')"
+    r"|(?P<number>\d+(?:\.\d+)?|\.\d+)"
+    r"|(?P<word>[^\W\d]\w*)"
+    r"|(?P<placeholder>\$\d*)"
+    r"|(?P<operator><=|>=|<>|!=|[=<>+\-*/])"
+    r"|(?P<punct>[(),.]))"
+)
+_WS_RUN_RE = re.compile(_WS_PATTERN)
+
+# _SCAN_RE group indices, for callers dispatching on match.lastindex.
+SCAN_STRING = 1
+SCAN_NUMBER = 2
+SCAN_WORD = 3
+SCAN_PLACEHOLDER = 4
+SCAN_OPERATOR = 5
+SCAN_PUNCT = 6
+
+_SCAN_KINDS = (
+    None, "string", "number", "word", "placeholder", "operator",
+    "punct",
+)
+
+
+def _scan_error(text: str, pos: int) -> None:
+    if text[pos] == "'":
+        raise SqlSyntaxError("unterminated string literal", pos)
+    raise SqlSyntaxError(f"unexpected character {text[pos]!r}", pos)
+
+
+def scan_break(text: str, pos: int) -> None:
+    """Handle a scanner discontinuity at ``pos``.
+
+    Called when the next ``_SCAN_RE`` match is not contiguous with the
+    previous one, or when the matches ran out before the end of the
+    input. Either the remainder is pure whitespace/comments — a later
+    bogus match may even sit *inside* a trailing comment — and the
+    caller must simply stop scanning (returns silently), or the first
+    non-trivia character is unscannable (raises the Lexer's error).
+    """
+    end = _WS_RUN_RE.match(text, pos).end()
+    if end != len(text):
+        _scan_error(text, end)
+
+
+def scan(text: str) -> List[Tuple[str, str]]:
+    """Tokenize ``text`` into bare ``(kind, value)`` tuples — fast.
+
+    Kinds are ``keyword``/``ident``/``number``/``string``/
+    ``operator``/``punct``/``placeholder``; words arrive lowercased
+    (like :class:`Token`), strings keep their quotes (unlike
+    :class:`Token` — the one caller masks them wholesale). Raises
+    :class:`SqlSyntaxError` on exactly the inputs the Lexer rejects;
+    error positions may differ on malformed input.
+    """
+    result: List[Tuple[str, str]] = []
+    append = result.append
+    pos = 0
+    for match in _SCAN_RE.finditer(text):
+        if match.start() != pos:
+            scan_break(text, pos)  # raises unless the rest is trivia
+            return result
+        pos = match.end()
+        index = match.lastindex
+        value = match.group(index)
+        if index == SCAN_WORD:
+            value = value.lower()
+            kind = "keyword" if value in KEYWORDS else "ident"
+        else:
+            kind = _SCAN_KINDS[index]
+        append((kind, value))
+    if pos != len(text):
+        scan_break(text, pos)
+    return result

@@ -1,0 +1,133 @@
+"""Raw-SQL normalization: the zero-reparse key for SQL2Template.
+
+The ingest hot path observes every statement the workload emits.
+Full template matching costs lex → parse → AST parameterization →
+fingerprint stringification per statement; this module provides the
+cheap first tier: a single pass over the lexer's master scanning
+regex (:data:`repro.sql.lexer._SCAN_RE` — the same token boundaries
+the parser sees, no Token allocation) that masks literal values into
+a canonical *raw key*.  Two statements with the same raw key are
+guaranteed to produce the same parsed template fingerprint, so a
+bounded ``raw key → fingerprint`` cache (see
+:class:`repro.core.templates.TemplateStore`) lets repeated statement
+shapes skip the parser entirely.
+
+The guarantee is one-directional by design:
+
+* **sound** — equal raw keys imply equal fingerprints.  The key
+  preserves every token except literal *values*, and the
+  parameterizer's placeholder numbering depends only on literal
+  *positions*, which the key preserves;
+* **not complete** — two texts with different raw keys may still share
+  a fingerprint (``b = -5`` vs ``b = 5``, boolean literals, IN-lists
+  mixing literals with expressions, VALUES rows mixing ``$n``
+  placeholders with literals).  Incompleteness only costs a cache
+  slot, never correctness.
+
+Masking rules, each mirroring :func:`repro.sql.fingerprint.parameterize`:
+
+* number and string tokens become ``?`` — the parameterizer lifts
+  every literal into a positional placeholder;
+* the number after ``LIMIT`` is kept verbatim — ``Select.limit``
+  survives parameterization, so ``LIMIT 5`` and ``LIMIT 10`` are
+  *different* templates and must stay different keys;
+* an ``IN`` list containing only literals collapses to ``in ( ? )`` —
+  the parameterizer keeps a single placeholder for the whole list, so
+  list length must not split templates.  After masking, a run of
+  ``?`` items *is* exactly a pure-literal list (nothing else masks to
+  ``?``), so the collapse is a regex over the masked text;
+* the ``VALUES`` rows of an INSERT collapse to one masked row when
+  the rows are identical masked-literal rows running to the end of
+  the statement — the template keys on table + column list, not on
+  row count.  The backreference keeps arity, so a malformed row
+  count can never alias a valid cached statement;
+* ``$n`` placeholders, keywords (including ``true``/``false``/
+  ``null``), identifiers, operators, and punctuation pass through
+  (case-folded like the lexer does); whitespace and comments vanish
+  with tokenization.
+
+``NORMALIZER_VERSION`` must be part of any cache key derived from
+:func:`normalize_sql`: a persisted or long-lived mapping built under
+one set of masking rules must not be consulted under another.  The
+``cache-key`` lint checker enforces this.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+from repro.sql.lexer import (
+    _SCAN_RE,
+    SCAN_NUMBER,
+    SCAN_STRING,
+    SCAN_WORD,
+    scan_break,
+)
+
+#: Bump whenever the masking rules change: raw keys produced by
+#: different versions are not comparable, and every cache keyed on
+#: :func:`normalize_sql` output must include this constant in its key.
+NORMALIZER_VERSION = 2
+
+#: The literal mask.  ``?`` cannot be produced by the lexer, so a
+#: masked key can never collide with a verbatim token.
+MASK = "?"
+
+# ``in ( ?, ?, ... )`` — every item is a masked literal (nothing else
+# produces ``?``), so list length collapses like the parameterizer's
+# single IN placeholder.  ``\b`` keeps idents merely *ending* in "in"
+# (margin, …) from matching; an identifier spelled "in" cannot exist
+# (the lexer classifies it as the keyword).
+_IN_LIST_RE = re.compile(r"\bin \( \?(?: , \?)* \)")
+
+# ``values ( ?, ... ) , ( ?, ... ) … <end>`` — all-literal rows of
+# identical shape (the backreference preserves arity) running to the
+# end of the statement collapse to the first row.
+_VALUES_RE = re.compile(r"\bvalues (\( \?(?: , \?)* \))(?: , \1)*$")
+
+def normalize_sql(sql: str) -> str:
+    """Canonical raw key for ``sql`` (may raise ``SqlSyntaxError``).
+
+    Scans the text with the lexer's master regex (unscannable input
+    raises exactly the error a full parse would), masks literals, and
+    joins the stream with single spaces.
+    """
+    parts = []
+    append = parts.append
+    pos = 0
+    after_limit = False
+    for match in _SCAN_RE.finditer(sql):
+        if match.start() != pos:
+            scan_break(sql, pos)  # raises unless the rest is trivia
+            pos = len(sql)
+            break
+        pos = match.end()
+        index = match.lastindex
+        if index == SCAN_WORD:
+            # Lowercase like the lexer; "limit" can only ever be the
+            # keyword (the lexer never yields it as an identifier).
+            word = match[index].lower()
+            append(word)
+            after_limit = word == "limit"
+            continue
+        if index == SCAN_STRING:
+            append(MASK)
+        elif index == SCAN_NUMBER:
+            append(match[index] if after_limit else MASK)
+        else:  # placeholder / operator / punctuation: verbatim
+            append(match[index])
+        after_limit = False
+    if pos != len(sql):
+        scan_break(sql, pos)
+    text = " ".join(parts)
+    if "in ( ?" in text:
+        text = _IN_LIST_RE.sub("in ( ? )", text)
+    if "values ( ?" in text:
+        text = _VALUES_RE.sub(r"values \1", text)
+    return text
+
+
+def raw_key(sql: str) -> Tuple[int, str]:
+    """The cache key for ``sql``: masking rules version + raw text key."""
+    return (NORMALIZER_VERSION, normalize_sql(sql))

@@ -227,6 +227,69 @@ def test_cache_key_mutable_attr_not_in_key():
     assert not _violations(good, "src/repro/core/m.py", "cache-key")
 
 
+def test_cache_key_normalizer_version_missing():
+    bad = """
+    from repro.sql.normalize import normalize_sql
+
+    class Store:
+        def __init__(self):
+            self._raw_cache = {}
+
+        def lookup(self, sql):
+            key = normalize_sql(sql)
+            hit = self._raw_cache.get(key)
+            if hit is not None:
+                return hit
+            value = self._parse(sql)
+            self._raw_cache[key] = value
+            return value
+    """
+    found = _violations(bad, "src/repro/core/store.py", "cache-key")
+    assert len(found) == 1
+    assert "NORMALIZER_VERSION" in found[0].message
+    assert "normalize_sql" in found[0].message
+
+
+def test_cache_key_normalizer_version_present():
+    good = """
+    from repro.sql.normalize import NORMALIZER_VERSION, normalize_sql
+
+    class Store:
+        def __init__(self):
+            self._raw_cache = {}
+
+        def lookup(self, sql):
+            key = (NORMALIZER_VERSION, normalize_sql(sql))
+            hit = self._raw_cache.get(key)
+            if hit is not None:
+                return hit
+            value = self._parse(sql)
+            self._raw_cache[key] = value
+            return value
+    """
+    assert not _violations(good, "src/repro/core/store.py", "cache-key")
+
+
+def test_cache_key_raw_key_constructor_passes():
+    good = """
+    from repro.sql.normalize import raw_key
+
+    class Store:
+        def __init__(self):
+            self._raw_cache = {}
+
+        def lookup(self, sql):
+            key = raw_key(sql)
+            hit = self._raw_cache.get(key)
+            if hit is not None:
+                return hit
+            value = self._parse(sql)
+            self._raw_cache[key] = value
+            return value
+    """
+    assert not _violations(good, "src/repro/core/store.py", "cache-key")
+
+
 # ---------------------------------------------------------------------------
 # frozen-mutation
 # ---------------------------------------------------------------------------

@@ -77,7 +77,7 @@ class TestPerfBenchSmoke:
             machine["workers_effective"]
         )
 
-    def test_ingest_perf(self, tmp_path):
+    def test_ingest_perf_three_modes(self, tmp_path):
         from repro.bench.perf import run_ingest_perf
 
         out = tmp_path / "ingest.json"
@@ -85,8 +85,17 @@ class TestPerfBenchSmoke:
             queries=300, out_path=str(out), diagnosis_every=100
         )
         assert out.exists()
-        assert report["queries_per_second"] > 0
-        assert report["diagnosis_passes"] == 3
-        assert report["templates"] == sum(
-            report["shard_stats"].values()
-        )
+        assert report["identical_result"] is True
+        assert report["normalizer_version"] >= 1
+        assert report["machine"]["cpu_count"] >= 1
+        for mode in ("full", "cached", "cached_incremental"):
+            result = report[mode]
+            assert result["queries_per_second"] > 0
+            assert result["diagnosis_passes"] == 3
+            assert result["templates"] == sum(
+                result["shard_stats"].values()
+            )
+        # Full-parse mode never touches the raw-key cache; the fast
+        # modes resolve nearly everything through it.
+        assert report["full"]["raw_cache"]["hits"] == 0
+        assert report["cached"]["raw_cache"]["hits"] > 0

@@ -17,9 +17,7 @@ def empty_db() -> MemoryBackend:
     return MemoryBackend()
 
 
-@pytest.fixture
-def people_db() -> MemoryBackend:
-    """A 2000-row single-table database with mixed column types."""
+def _make_people_db() -> MemoryBackend:
     db = MemoryBackend()
     db.create_table(
         table(
@@ -48,6 +46,19 @@ def people_db() -> MemoryBackend:
     db.load_rows("people", rows)
     db.analyze()
     return db
+
+
+@pytest.fixture
+def people_db() -> MemoryBackend:
+    """A 2000-row single-table database with mixed column types."""
+    return _make_people_db()
+
+
+@pytest.fixture
+def people_db2() -> MemoryBackend:
+    """An identical twin of :func:`people_db` (deterministic seed),
+    for tests that compare two pipelines over equal databases."""
+    return _make_people_db()
 
 
 @pytest.fixture

@@ -185,3 +185,16 @@ class TestUsageCounters:
         usage = self.usage_of(people_backend, COMMUNITY_IX)
         assert usage.lookups == 0
         assert usage.maintenance_ops == 0
+
+    def test_usage_epoch_bumps_on_reset_only(self, people_backend):
+        # Incremental diagnosis keys its classification cache on the
+        # usage epoch: a reset must move it, mere reads must not, and
+        # catalog_version (which a reset leaves alone) must not be
+        # relied on to see resets.
+        epoch = people_backend.usage_epoch()
+        catalog = people_backend.catalog_version()
+        people_backend.execute(COMMUNITY_SQL)
+        assert people_backend.usage_epoch() == epoch
+        people_backend.reset_index_usage()
+        assert people_backend.usage_epoch() > epoch
+        assert people_backend.catalog_version() == catalog

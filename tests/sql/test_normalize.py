@@ -1,0 +1,176 @@
+"""Raw-SQL normalizer: masking rules and the soundness property.
+
+The fast path's entire correctness argument is the one-directional
+guarantee *equal raw keys imply equal template fingerprints*; the
+property sweep at the bottom checks it over every workload generator
+in the repo (a few thousand statements each, fixed seeds).
+"""
+
+import pytest
+
+from repro.sql import parse
+from repro.sql.fingerprint import parameterize
+from repro.sql.lexer import SqlSyntaxError, scan
+from repro.sql.normalize import (
+    NORMALIZER_VERSION,
+    normalize_sql,
+    raw_key,
+)
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.dynamic import epidemic_phases
+from repro.workloads.epidemic import EpidemicWorkload
+from repro.workloads.tpcc import TpccWorkload
+
+
+def _fingerprint(sql: str) -> str:
+    return parameterize(parse(sql)).fingerprint
+
+
+class TestMaskingRules:
+    def test_literals_masked(self):
+        key = normalize_sql(
+            "SELECT id FROM people WHERE community = 3 AND status = 'x'"
+        )
+        assert key == (
+            "select id from people where community = ? and status = ?"
+        )
+
+    def test_case_and_whitespace_canonicalized(self):
+        assert normalize_sql(
+            "SELECT  a\nFROM t   WHERE b = 1"
+        ) == normalize_sql("select a from t where b = 2")
+
+    def test_comments_vanish(self):
+        assert normalize_sql(
+            "select a from t -- trailing\n where b = 1"
+        ) == normalize_sql("select a from t where b = 9")
+
+    def test_limit_number_survives(self):
+        # Select.limit survives parameterization, so different limits
+        # are different templates and must stay different keys.
+        five = normalize_sql("select a from t limit 5")
+        ten = normalize_sql("select a from t limit 10")
+        assert five != ten
+        assert five.endswith("limit 5")
+
+    def test_limit_context_crosses_comments(self):
+        assert normalize_sql(
+            "select a from t limit -- soon\n 7"
+        ).endswith("limit 7")
+
+    def test_in_list_collapses(self):
+        assert normalize_sql(
+            "select a from t where b in (1, 2, 3)"
+        ) == normalize_sql("select a from t where b in (9)")
+
+    def test_in_list_with_expression_does_not_collapse(self):
+        # The parameterizer keeps one placeholder only for pure
+        # literal lists; a mixed list must not share its key.
+        pure = normalize_sql("select a from t where b in (1, 2)")
+        mixed = normalize_sql("select a from t where b in (1, c)")
+        assert pure != mixed
+
+    def test_ident_ending_in_keyword_not_collapsed(self):
+        key = normalize_sql("select margin from t where margin = 3")
+        assert "margin" in key
+
+    def test_values_rows_collapse(self):
+        one = normalize_sql(
+            "insert into t (a, b) values (1, 'x')"
+        )
+        three = normalize_sql(
+            "insert into t (a, b) values (1, 'x'), (2, 'y'), (3, 'z')"
+        )
+        assert one == three
+
+    def test_values_arity_preserved(self):
+        two = normalize_sql("insert into t (a, b) values (1, 2)")
+        three = normalize_sql("insert into t (a, b) values (1, 2, 3)")
+        assert two != three
+
+    def test_placeholders_kept_verbatim(self):
+        key = normalize_sql("select a from t where b = $1")
+        assert "$1" in key
+
+    def test_version_in_raw_key(self):
+        version, text = raw_key("select a from t")
+        assert version == NORMALIZER_VERSION
+        assert text == "select a from t"
+
+
+class TestErrorParity:
+    """Unscannable input raises before any cache can be touched."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "select a from t where b = 'unterminated",
+            "select a from t where b = @",
+            "select ; from t",
+        ],
+    )
+    def test_raises_like_the_lexer(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            normalize_sql(bad)
+        with pytest.raises(SqlSyntaxError):
+            scan(bad)
+
+    def test_trailing_whitespace_and_comments_ok(self):
+        assert normalize_sql("select a from t  -- done") == (
+            "select a from t"
+        )
+
+
+def _dynamic_statements(count_per_phase: int = 300):
+    workload = epidemic_phases(
+        EpidemicWorkload(people=2000, seed=7),
+        queries_per_phase=count_per_phase,
+    )
+    for phase_index, phase in enumerate(workload):
+        for query in phase.queries(seed=phase_index):
+            yield query.sql
+
+
+_GENERATORS = {
+    "banking": lambda: (
+        q.sql
+        for q in BankingWorkload(
+            accounts=500, txn_rows=2000, product_rows=50, seed=31
+        ).queries(2000, seed=5)
+    ),
+    "tpcc": lambda: (
+        q.sql
+        for q in TpccWorkload(scale=1, seed=11).queries(2000, seed=17)
+    ),
+    "epidemic": lambda: (
+        q.sql
+        for q in EpidemicWorkload(people=2000, seed=7).queries(
+            2000, seed=3
+        )
+    ),
+    "dynamic": _dynamic_statements,
+}
+
+
+@pytest.mark.parametrize("name", sorted(_GENERATORS))
+def test_raw_key_soundness_over_workload(name):
+    """Equal raw keys ⇒ equal fingerprints, across every generator.
+
+    This is the property the raw-key cache stands on: whatever SQL a
+    workload emits, two statements that normalize to the same key
+    must parameterize to the same template — a cached fingerprint is
+    then always the fingerprint a full parse would have produced.
+    """
+    key_to_fingerprint = {}
+    statements = 0
+    for sql in _GENERATORS[name]():
+        statements += 1
+        key = normalize_sql(sql)
+        fingerprint = _fingerprint(sql)
+        previous = key_to_fingerprint.setdefault(key, fingerprint)
+        assert previous == fingerprint, (
+            f"raw-key alias in {name}: key {key!r} maps to both "
+            f"{previous!r} and {fingerprint!r} (sql: {sql!r})"
+        )
+    assert statements >= 900  # the sweep actually ran
+    assert len(key_to_fingerprint) >= 2
