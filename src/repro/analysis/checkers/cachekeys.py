@@ -360,6 +360,18 @@ class CacheKeyChecker(Checker):
         "memoization keys must cover every parameter and mutable "
         "attribute the cached computation reads"
     )
+    rationale = (
+        "A memo key that omits an input the computation reads serves\n"
+        "stale results the moment that input changes -- the classic\n"
+        "shape is caching a cost by template fingerprint while also\n"
+        "reading the index configuration. Every parameter and mutable\n"
+        "attribute the cached body touches must appear in the key (or\n"
+        "be versioned into it)."
+    )
+    example = (
+        "src/repro/core/estimator.py:402: [cache-key] cached method "
+        "'query_cost' reads 'config' but its memo key omits it"
+    )
 
     def check(self, module: ModuleInfo) -> Iterable[Violation]:
         violations: List[Violation] = []

@@ -66,6 +66,18 @@ class DeterminismChecker(Checker):
         "unseeded RNG calls, set iteration feeding ordered sinks in "
         "core/engine, and wall-clock access outside bench/"
     )
+    rationale = (
+        "Tuning rounds must replay bit-identically: an unseeded rng,\n"
+        "wall-clock timing, or set-iteration order leaking into an\n"
+        "ordered sink makes two runs of the same workload pick\n"
+        "different index configurations, and every downstream\n"
+        "comparison (A/B of search strategies, regression benches)\n"
+        "stops meaning anything."
+    )
+    example = (
+        "src/repro/core/mcts.py:210: [determinism] random.Random() "
+        "without a seed; thread the run's seed through instead"
+    )
 
     def check(self, module: ModuleInfo) -> Iterable[Violation]:
         violations: List[Violation] = []

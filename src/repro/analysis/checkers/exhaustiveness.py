@@ -195,6 +195,17 @@ class ExhaustivenessChecker(Checker):
         "isinstance dispatchers over repro.sql.ast nodes must handle "
         "(or explicitly fall through for) every concrete node class"
     )
+    rationale = (
+        "Adding a SQL AST node must break every dispatcher that\n"
+        "forgot about it at lint time, not at runtime on whichever\n"
+        "workload first produces the node. A dispatcher either\n"
+        "handles every concrete node class or declares its fallthrough\n"
+        "explicitly."
+    )
+    example = (
+        "src/repro/sql/normalize.py:88: [ast-exhaustive] isinstance "
+        "dispatch handles 11 of 12 node classes; missing: Between"
+    )
 
     def check(self, module: ModuleInfo) -> Iterable[Violation]:
         if module.package_root is None:

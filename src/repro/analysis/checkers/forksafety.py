@@ -1,0 +1,254 @@
+"""Fork-safety: pool jobs must not touch parent-visible state.
+
+The MCTS rollout pool (PR 7) forks workers that inherit the parent's
+search state and are only ever allowed to *cost* configurations: a
+worker that writes state the parent also relies on, draws from the
+parent's RNG stream, or performs DDL makes ``workers=N`` diverge from
+``workers=1`` — silently, because the fork isolates the damage until
+results are merged.  This rule makes the invariant static: everything
+reachable from a pool job (any function submitted to
+``pool.submit``) in the ``core``/``engine``/``ports`` layers must be
+effect-free in the parent-visible sense.
+
+Exemptions encode the codebase's idioms:
+
+* writes inside ``__init__``/``__post_init__`` (the object is fresh);
+* augmented assignments (monitoring counters/accumulators — the same
+  convention the cache-key rule uses);
+* attributes whose name marks them as cache/memo state (semantically
+  transparent by declaration);
+* subscript writes through parameters (output buffers).
+
+Separately, any function in those layers that constructs a process
+pool must transitively consult the backend's ``parallel_safe``
+declaration before forking — the declaration is what vouches for the
+backend's internals, so opening a pool without reading it bypasses
+the whole contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.checkers._domain import (
+    backend_effect_of,
+    is_backend_protocol,
+    render_chain,
+)
+from repro.analysis.core import (
+    ProjectChecker,
+    ProjectContext,
+    Violation,
+    register,
+)
+from repro.analysis.effects import EffectIndex, has_cache_hint
+
+#: Layers whose pool entry points are checked (the analysis package
+#: runs its own pool with registry state by design).
+_CHECKED_LAYERS = ("core", "engine", "ports")
+
+
+def _layer_of_rel_path(rel_path: str) -> str:
+    parts = rel_path.split("/")
+    if "repro" in parts:
+        idx = parts.index("repro")
+        if idx + 1 < len(parts) - 1:
+            return parts[idx + 1]
+    return ""
+
+
+@register
+class ForkSafetyChecker(ProjectChecker):
+    name = "fork-safety"
+    description = (
+        "code reachable from a process-pool job must not write "
+        "parent-visible state, draw from the RNG, or mutate the "
+        "backend; pool construction must consult parallel_safe"
+    )
+    rationale = (
+        "Forked rollout workers inherit the parent's search state and\n"
+        "must only read it: any worker-side write, RNG draw or DDL\n"
+        "makes workers=N diverge from workers=1 without any error --\n"
+        "the fork isolates the mutation until the merged numbers\n"
+        "disagree. Exemptions: writes in __init__ (fresh object),\n"
+        "augmented counters, cache/memo-named attributes, and\n"
+        "subscript writes through parameters (output buffers)."
+    )
+    example = (
+        "src/repro/core/estimator.py:364: [fork-safety] "
+        "'BenefitEstimator._degrade' assigns self.model, reachable "
+        "from pool job '_pool_cost_job' (via _pool_cost_job -> "
+        "_cost_of -> ... -> _degrade)"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Violation]:
+        effects = ctx.effects
+        if effects is None:
+            return []
+        violations: List[Violation] = []
+        entries = self._entries(effects)
+        reported: Set[Tuple[str, str, int]] = set()
+        for entry in entries:
+            violations.extend(
+                self._check_entry(effects, entry, reported)
+            )
+        violations.extend(self._check_pool_gating(effects))
+        return violations
+
+    # -- entry discovery ----------------------------------------------------
+
+    def _entries(self, effects: EffectIndex) -> List[str]:
+        seen: Set[str] = set()
+        entries: List[str] = []
+        for target, submitter in effects.pool_entry_points():
+            if _layer_of_rel_path(submitter.rel_path) not in _CHECKED_LAYERS:
+                continue
+            if target not in seen:
+                seen.add(target)
+                entries.append(target)
+        return entries
+
+    # -- reachability check -------------------------------------------------
+
+    def _check_entry(
+        self,
+        effects: EffectIndex,
+        entry: str,
+        reported: Set[Tuple[str, str, int]],
+    ) -> Iterable[Violation]:
+        entry_name = entry.rsplit(":", 1)[-1]
+        reached, protocol_calls = effects.walk_from(entry)
+        for node in reached:
+            fn = node.effects
+            if fn.is_init:
+                continue
+            via = render_chain(node.chain)
+            for write in fn.self_writes:
+                if write.kind == "aug":
+                    continue
+                if has_cache_hint(write.attr):
+                    continue
+                key = (fn.rel_path, f"w{write.attr}", write.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                verb = {
+                    "assign": "assigns",
+                    "del": "deletes",
+                    "subscript": "writes through",
+                    "deep": "writes through",
+                    "call": "mutates",
+                }.get(write.kind, "writes")
+                yield Violation(
+                    rule=self.name,
+                    path=fn.rel_path,
+                    line=write.line,
+                    message=(
+                        f"'{fn.qualname.rsplit(':', 1)[-1]}' {verb} "
+                        f"self.{write.attr}, reachable from pool job "
+                        f"'{entry_name}' (via {via})"
+                    ),
+                )
+            for typed in fn.typed_writes:
+                if typed.kind == "aug":
+                    continue
+                if has_cache_hint(typed.attr):
+                    continue
+                resolved = effects.resolve_type(typed.cls)
+                receiver = (
+                    resolved.rsplit(":", 1)[-1]
+                    if resolved is not None
+                    else "a typed receiver"
+                )
+                key = (fn.rel_path, f"t{typed.attr}", typed.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield Violation(
+                    rule=self.name,
+                    path=fn.rel_path,
+                    line=typed.line,
+                    message=(
+                        f"'{fn.qualname.rsplit(':', 1)[-1]}' writes "
+                        f"{receiver}.{typed.attr}, reachable from "
+                        f"pool job '{entry_name}' (via {via})"
+                    ),
+                )
+            for global_name, line in fn.global_writes:
+                key = (fn.rel_path, f"g{global_name}", line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield Violation(
+                    rule=self.name,
+                    path=fn.rel_path,
+                    line=line,
+                    message=(
+                        f"'{fn.qualname.rsplit(':', 1)[-1]}' writes "
+                        f"module global '{global_name}', reachable "
+                        f"from pool job '{entry_name}' (via {via})"
+                    ),
+                )
+            for line in fn.rng_draws:
+                key = (fn.rel_path, "rng", line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield Violation(
+                    rule=self.name,
+                    path=fn.rel_path,
+                    line=line,
+                    message=(
+                        f"'{fn.qualname.rsplit(':', 1)[-1]}' draws "
+                        f"from the rng, reachable from pool job "
+                        f"'{entry_name}' (via {via}) -- workers must "
+                        f"never consume the parent's stream"
+                    ),
+                )
+        for call, chain in protocol_calls:
+            if not is_backend_protocol(call.protocol):
+                continue
+            effect = backend_effect_of(call.method)
+            if effect is None:
+                continue
+            caller = effects.functions.get(call.caller)
+            rel_path = caller.rel_path if caller is not None else ""
+            key = (rel_path, f"b{call.method}", call.line)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield Violation(
+                rule=self.name,
+                path=rel_path,
+                line=call.line,
+                message=(
+                    f"'{call.caller.rsplit(':', 1)[-1]}' calls "
+                    f"backend.{call.method} ({effect}), reachable "
+                    f"from pool job '{entry_name}' "
+                    f"(via {render_chain(chain)})"
+                ),
+            )
+
+    # -- parallel_safe gating -----------------------------------------------
+
+    def _check_pool_gating(
+        self, effects: EffectIndex
+    ) -> Iterable[Violation]:
+        for fn in effects.iter_functions():
+            if not fn.constructs_pool:
+                continue
+            if _layer_of_rel_path(fn.rel_path) not in _CHECKED_LAYERS:
+                continue
+            reached, _calls = effects.walk_from(fn.qualname)
+            if any(r.effects.reads_parallel_safe for r in reached):
+                continue
+            yield Violation(
+                rule=self.name,
+                path=fn.rel_path,
+                line=fn.constructs_pool[0],
+                message=(
+                    f"'{fn.qualname.rsplit(':', 1)[-1]}' opens a "
+                    f"process pool without consulting the backend's "
+                    f"parallel_safe declaration"
+                ),
+            )

@@ -68,6 +68,17 @@ class LayerChecker(Checker):
         "imports must follow the sql -> engine -> core -> bench DAG; "
         "nothing imports bench except __main__/tests"
     )
+    rationale = (
+        "The package is layered sql -> engine -> core -> bench so the\n"
+        "parser never depends on the engine, the engine never on the\n"
+        "advisor, and nothing product-side on the bench harness. An\n"
+        "upward import couples a lower layer to its consumers and\n"
+        "makes the ports/ seam (swappable backends) a fiction."
+    )
+    example = (
+        "src/repro/engine/planner.py:12: [layer] engine imports "
+        "repro.core.advisor; core may import engine, never the reverse"
+    )
 
     def check(self, module: ModuleInfo) -> Iterable[Violation]:
         layer = module.layer

@@ -23,7 +23,7 @@ name with a fresh value (plain ``name = ...``) un-freezes it.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List
+from typing import Callable, Dict, Iterable, Iterator, List
 
 from repro.analysis.core import Checker, ModuleInfo, Violation, register
 
@@ -103,6 +103,17 @@ class FrozenMutationChecker(Checker):
     description = (
         "in-place writes to objects obtained from caches or stored "
         "in policy-tree snapshots"
+    )
+    rationale = (
+        "Objects handed out by caches and policy-tree snapshots are\n"
+        "shared: mutating one in place silently rewrites what every\n"
+        "other holder (and every future cache hit) sees. Copy before\n"
+        "writing, or rebind the name to a fresh value -- a plain\n"
+        "'name = ...' un-freezes it."
+    )
+    example = (
+        "src/repro/core/mcts.py:310: [frozen-mutation] 'config' came "
+        "from a cache lookup and is mutated in place via .append"
     )
 
     def check(self, module: ModuleInfo) -> Iterable[Violation]:
@@ -191,7 +202,11 @@ class FrozenMutationChecker(Checker):
                 )
 
     def _flag_mutations(
-        self, module: ModuleInfo, node: ast.AST, is_frozen, origins
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        is_frozen: Callable[[str, int], bool],
+        origins: Dict[str, str],
     ) -> Iterator[Violation]:
         name: str = ""
         how: str = ""

@@ -23,7 +23,7 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.core import registered_checkers
-from repro.analysis.runner import analyze_paths
+from repro.analysis.runner import CACHE_DIR_NAME, SCOPES, analyze_paths
 
 
 def _project_root(start: Path) -> Path:
@@ -81,11 +81,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format",
     )
     parser.add_argument(
+        "--scope",
+        choices=SCOPES,
+        default="all",
+        help=(
+            "run only the per-file checkers (file), only the "
+            "interprocedural pass (project), or both (all, default)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "ignore and do not write the effect-summary cache "
+            f"({CACHE_DIR_NAME}/): fully cold interprocedural run"
+        ),
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's rationale and an example finding, then exit",
+    )
+    parser.add_argument(
         "--list-checkers",
         action="store_true",
         help="print registered checkers and exit",
     )
     return parser
+
+
+def _explain(rule: str) -> int:
+    checkers = registered_checkers()
+    cls = checkers.get(rule)
+    if cls is None:
+        known = ", ".join(sorted(checkers))
+        print(f"error: unknown rule: {rule} (known: {known})",
+              file=sys.stderr)
+        return 2
+    print(f"{cls.name}: {cls.description}")
+    if cls.rationale:
+        print(f"\nrationale:\n{cls.rationale.strip()}")
+    if cls.example:
+        print(f"\nexample finding:\n{cls.example.strip()}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -95,6 +133,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, cls in sorted(registered_checkers().items()):
             print(f"{name}: {cls.description}")
         return 0
+
+    if args.explain:
+        return _explain(args.explain)
 
     targets: List[Path] = [Path(t) for t in args.targets]
     missing = [t for t in targets if not t.exists()]
@@ -113,6 +154,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             project_root=project_root,
             select=args.select,
             jobs=args.jobs,
+            scope=args.scope,
+            use_cache=not args.no_cache,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)

@@ -12,9 +12,23 @@ import ast
 import hashlib
 import re
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.effects import EffectIndex
+    from repro.analysis.graph import ProjectGraph
 
 # ---------------------------------------------------------------------------
 # Violations
@@ -167,15 +181,49 @@ class Checker(ABC):
     Subclasses set ``name`` (the rule id used in reports, ``--select``
     and suppressions) and ``description``, and implement
     :meth:`check`.  Register with :func:`register` so the CLI and
-    :func:`all_checkers` can find them.
+    :func:`all_checkers` can find them.  ``rationale`` and ``example``
+    feed ``python -m repro.lint --explain <rule>``.
     """
 
     name: str = ""
     description: str = ""
+    rationale: str = ""
+    example: str = ""
 
     @abstractmethod
     def check(self, module: ModuleInfo) -> Iterable[Violation]:
         """Yield violations for *module*."""
+
+
+@dataclass
+class ProjectContext:
+    """Whole-program view handed to :class:`ProjectChecker` subclasses.
+
+    ``modules`` maps project-relative path to the parsed module;
+    ``graph`` and ``effects`` are the linked symbol/call graph and
+    interprocedural effect index over exactly those modules.
+    """
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    graph: Optional["ProjectGraph"] = None
+    effects: Optional["EffectIndex"] = None
+
+
+class ProjectChecker(Checker):
+    """A checker that needs the whole program, not one module.
+
+    Project checkers run in the interprocedural pass (``--scope
+    project``) after every file has been summarised; their per-module
+    :meth:`check` hook is a no-op so they can share the registry,
+    ``--select`` and suppression machinery with per-file checkers.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterable[Violation]:
+        return ()
+
+    @abstractmethod
+    def check_project(self, ctx: ProjectContext) -> Iterable[Violation]:
+        """Yield violations for the whole project."""
 
 
 _REGISTRY: Dict[str, Type[Checker]] = {}
@@ -210,6 +258,24 @@ def all_checkers(select: Optional[Sequence[str]] = None) -> List[Checker]:
             )
         names = sorted(set(select))
     return [_REGISTRY[name]() for name in names]
+
+
+def file_checkers(select: Optional[Sequence[str]] = None) -> List[Checker]:
+    """Per-file checkers only (validates *select* against all names)."""
+    return [
+        c
+        for c in all_checkers(select)
+        if not isinstance(c, ProjectChecker)
+    ]
+
+
+def project_checkers(
+    select: Optional[Sequence[str]] = None,
+) -> List["ProjectChecker"]:
+    """Project-scope checkers only (validates *select* as above)."""
+    return [
+        c for c in all_checkers(select) if isinstance(c, ProjectChecker)
+    ]
 
 
 def _ensure_builtin_checkers() -> None:

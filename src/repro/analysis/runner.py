@@ -1,29 +1,59 @@
 """File discovery and (optionally parallel) analysis execution.
 
-Analysis is embarrassingly parallel per file: every module is parsed
-and checked independently, so the runner fans files out to a process
-pool when the file count justifies the fork cost.  Workers re-import
-this module by qualified name, which requires ``repro`` to be
-importable in the child (the CLI is normally invoked with
-``PYTHONPATH=src``, which child processes inherit).
+Two passes share this runner.  The **per-file pass** is
+embarrassingly parallel: every module is parsed and checked
+independently, so files fan out to a process pool when the count
+justifies the fork cost.  The **project pass** runs the
+interprocedural checkers in the parent process: it loads every
+module, extracts (or loads from cache) per-file effect summaries,
+links them into a project graph, and hands the whole thing to each
+:class:`~repro.analysis.core.ProjectChecker`.
+
+Per-file summaries are pure functions of file content, so they are
+persisted to ``<project root>/.lint-cache/effects.json`` keyed on the
+content hash and :data:`~repro.analysis.effects.ANALYZER_VERSION`;
+repeat runs skip extraction for unchanged files.  ``use_cache=False``
+(CLI ``--no-cache``) pins fully cold mode — no read, no write.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.core import (
+    ModuleInfo,
+    ProjectContext,
     Violation,
+    _is_suppressed,
     all_checkers,
     analyze_module,
+    file_checkers,
     load_module,
+    parse_suppressions,
+    project_checkers,
 )
+from repro.analysis.effects import (
+    ANALYZER_VERSION,
+    EffectIndex,
+    FileSummary,
+    extract_file_summary,
+)
+from repro.analysis.graph import ProjectGraph
 
 #: Below this many files a pool costs more than it saves.
 _PARALLEL_THRESHOLD = 16
+
+#: Cache directory name, relative to the project root.
+CACHE_DIR_NAME = ".lint-cache"
+_CACHE_FILE_NAME = "effects.json"
+
+#: Valid values for the ``scope`` parameter / ``--scope`` flag.
+SCOPES = ("file", "project", "all")
 
 
 def discover_files(targets: Sequence[Path]) -> List[Path]:
@@ -41,6 +71,17 @@ def discover_files(targets: Sequence[Path]) -> List[Path]:
     return sorted(set(files))
 
 
+def _rel_path(path: Path, project_root: Optional[Path]) -> str:
+    if project_root is not None:
+        try:
+            return (
+                path.resolve().relative_to(project_root.resolve()).as_posix()
+            )
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
 def _analyze_one(
     path_str: str,
     project_root_str: Optional[str],
@@ -52,24 +93,151 @@ def _analyze_one(
     try:
         module = load_module(path, project_root=project_root)
     except SyntaxError as exc:
-        rel = path.as_posix()
-        if project_root is not None:
-            try:
-                rel = path.resolve().relative_to(
-                    project_root.resolve()
-                ).as_posix()
-            except ValueError:
-                pass
         return [
             Violation(
                 rule="parse",
-                path=rel,
+                path=_rel_path(path, project_root),
                 line=exc.lineno or 1,
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    checkers = all_checkers(select=select)
+    checkers = file_checkers(select=select)
     return analyze_module(module, checkers)
+
+
+# ---------------------------------------------------------------------------
+# Effect-summary cache
+# ---------------------------------------------------------------------------
+
+
+def _content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _cache_path(project_root: Optional[Path], cache_dir: Optional[Path]) -> Optional[Path]:
+    if cache_dir is not None:
+        return cache_dir / _CACHE_FILE_NAME
+    if project_root is not None:
+        return project_root / CACHE_DIR_NAME / _CACHE_FILE_NAME
+    return None
+
+
+def _load_cache(cache_file: Optional[Path]) -> Dict[str, Dict[str, object]]:
+    if cache_file is None or not cache_file.exists():
+        return {}
+    try:
+        raw = json.loads(cache_file.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(raw, dict) or raw.get("version") != ANALYZER_VERSION:
+        return {}
+    files = raw.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(
+    cache_file: Optional[Path], files: Dict[str, Dict[str, object]]
+) -> None:
+    if cache_file is None:
+        return
+    try:
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        cache_file.write_text(
+            json.dumps(
+                {"version": ANALYZER_VERSION, "files": files},
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+    except OSError:
+        # A read-only checkout must not fail the lint run.
+        pass
+
+
+def _summarize_modules(
+    modules: Sequence[ModuleInfo],
+    cache_file: Optional[Path],
+    use_cache: bool,
+) -> List[FileSummary]:
+    """Per-file summaries, via the content-hash cache when allowed."""
+    cached = _load_cache(cache_file) if use_cache else {}
+    next_cache: Dict[str, Dict[str, object]] = {}
+    summaries: List[FileSummary] = []
+    for module in modules:
+        digest = _content_hash(module.source)
+        entry = cached.get(module.rel_path)
+        summary: Optional[FileSummary] = None
+        if (
+            isinstance(entry, dict)
+            and entry.get("hash") == digest
+            and isinstance(entry.get("summary"), dict)
+        ):
+            try:
+                summary = FileSummary.from_dict(
+                    entry["summary"]  # type: ignore[arg-type]
+                )
+            except (KeyError, TypeError, ValueError, AssertionError):
+                summary = None
+        if summary is None:
+            summary = extract_file_summary(module.rel_path, module.tree)
+        summaries.append(summary)
+        next_cache[module.rel_path] = {
+            "hash": digest,
+            "summary": summary.to_dict(),
+        }
+    if use_cache:
+        _save_cache(cache_file, next_cache)
+    return summaries
+
+
+# ---------------------------------------------------------------------------
+# Project pass
+# ---------------------------------------------------------------------------
+
+
+def _analyze_project(
+    files: Sequence[Path],
+    project_root: Optional[Path],
+    select: Optional[Tuple[str, ...]],
+    use_cache: bool,
+    cache_dir: Optional[Path],
+) -> List[Violation]:
+    checkers = project_checkers(select=select)
+    if not checkers:
+        return []
+    modules: List[ModuleInfo] = []
+    violations: List[Violation] = []
+    for path in files:
+        try:
+            modules.append(load_module(path, project_root=project_root))
+        except SyntaxError:
+            # The per-file pass owns the parse violation; the project
+            # pass simply works on the files that do parse.
+            continue
+    summaries = _summarize_modules(
+        modules, _cache_path(project_root, cache_dir), use_cache
+    )
+    graph = ProjectGraph([s.symbols for s in summaries])
+    effects = EffectIndex(graph, summaries)
+    ctx = ProjectContext(
+        modules={m.rel_path: m for m in modules},
+        graph=graph,
+        effects=effects,
+    )
+    suppressions = {
+        m.rel_path: parse_suppressions(m)[0] for m in modules
+    }
+    for checker in checkers:
+        for violation in checker.check_project(ctx):
+            module_sups = suppressions.get(violation.path, ())
+            if not _is_suppressed(violation, module_sups):
+                violations.append(violation)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
 
 
 def analyze_paths(
@@ -77,13 +245,20 @@ def analyze_paths(
     project_root: Optional[Path] = None,
     select: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
+    scope: str = "all",
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
 ) -> List[Violation]:
     """Analyze every ``.py`` file under *targets*.
 
     ``jobs=None`` auto-selects: serial for small trees, a process pool
     otherwise.  ``jobs=1`` forces serial; results are identical either
-    way (and sorted, so output order is deterministic).
+    way (and sorted, so output order is deterministic).  ``scope``
+    picks the per-file pass, the interprocedural project pass, or
+    both (the default).
     """
+    if scope not in SCOPES:
+        raise KeyError(f"unknown scope: {scope} (known: {', '.join(SCOPES)})")
     files = discover_files(targets)
     root_str = None if project_root is None else str(project_root)
     select_tuple = None if select is None else tuple(select)
@@ -98,25 +273,41 @@ def analyze_paths(
         )
 
     violations: List[Violation] = []
-    if jobs <= 1 or len(files) <= 1:
-        for path in files:
-            violations.extend(_analyze_one(str(path), root_str, select_tuple))
-    else:
-        try:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                for result in pool.map(
-                    _analyze_one,
-                    [str(p) for p in files],
-                    [root_str] * len(files),
-                    [select_tuple] * len(files),
-                ):
-                    violations.extend(result)
-        except (OSError, RuntimeError):
-            # Sandboxes sometimes forbid fork/spawn; degrade to serial.
-            violations = []
+    if scope in ("file", "all"):
+        if jobs <= 1 or len(files) <= 1:
             for path in files:
                 violations.extend(
                     _analyze_one(str(path), root_str, select_tuple)
                 )
-    violations.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
-    return violations
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    for result in pool.map(
+                        _analyze_one,
+                        [str(p) for p in files],
+                        [root_str] * len(files),
+                        [select_tuple] * len(files),
+                    ):
+                        violations.extend(result)
+            except (OSError, RuntimeError):
+                # Sandboxes sometimes forbid fork/spawn; degrade to serial.
+                violations = []
+                for path in files:
+                    violations.extend(
+                        _analyze_one(str(path), root_str, select_tuple)
+                    )
+    if scope in ("project", "all"):
+        violations.extend(
+            _analyze_project(
+                files,
+                project_root,
+                select_tuple,
+                use_cache=use_cache,
+                cache_dir=cache_dir,
+            )
+        )
+    unique = sorted(
+        set(violations),
+        key=lambda v: (v.path, v.line, v.rule, v.message),
+    )
+    return unique

@@ -298,7 +298,7 @@ class BenefitEstimator:
         self._tables_cache: Dict[str, Tuple[str, ...]] = {}
         self._sample_cache = LruCache(cache_size)
         self._inverted_cache = LruCache(8)
-        self._inverted_last: Optional[Tuple[Sequence, Dict]] = None
+        self._inverted_memo: Optional[Tuple[Sequence, Dict]] = None
         self._catalog_version = backend.catalog_version()
         self.estimate_calls = 0  # model predictions (cost-tier misses)
         self.plans_computed = 0  # planner invocations (feature misses)
@@ -360,8 +360,9 @@ class BenefitEstimator:
                 f"what-if fallback unusable ({reason})"
             )
         self.fallbacks += 1
+        # lint: ignore[fork-safety] -- degradation inside a pool worker is caught by _pool_cost_job's fallbacks guard: the job fails and the parent recomputes in-process, where this write is visible
         self.degraded_reason = reason
-        self.model = WhatIfCostModel()
+        self.model = WhatIfCostModel()  # lint: ignore[fork-safety] -- same guard as degraded_reason above: a worker-side model swap fails the job instead of silently diverging from the parent
         # The cost tier is model-dependent; predictions cached from
         # the demoted model must not mix with fallback predictions.
         self._cache.clear()
@@ -377,7 +378,7 @@ class BenefitEstimator:
         if version != self._catalog_version:
             self._cache.clear()
             self._feature_cache.clear()
-            self._catalog_version = version
+            self._catalog_version = version  # lint: ignore[fork-safety] -- version-guard bookkeeping: workers never perform DDL (this rule proves it), so the forked backend's version cannot move and this write is dead in workers
 
     def query_cost(
         self,
@@ -719,7 +720,7 @@ class BenefitEstimator:
         # Identity fast path: MCTS hands the same list object for the
         # whole search, so skip rebuilding the fingerprint-tuple key
         # each delta call (the held reference keeps the id stable).
-        last = self._inverted_last
+        last = self._inverted_memo
         if last is not None and last[0] is templates:
             return last[1]
         key = tuple(t.fingerprint for t in templates)
@@ -731,7 +732,7 @@ class BenefitEstimator:
                     build.setdefault(table, []).append(i)
             inverted = {t: tuple(ix) for t, ix in build.items()}
             self._inverted_cache.put(key, inverted)
-        self._inverted_last = (templates, inverted)
+        self._inverted_memo = (templates, inverted)
         return inverted
 
     def benefit(

@@ -70,7 +70,20 @@ def _pool_cost_job(config_keys: Tuple[IndexKey, ...]):
     """
     selector = _WORKER_SELECTOR
     assert selector is not None, "pool worker not initialised"
-    return selector._cost_of(frozenset(config_keys), selector._root_ref)
+    fallbacks_before = selector.estimator.fallbacks
+    result = selector._cost_of(frozenset(config_keys), selector._root_ref)
+    if selector.estimator.fallbacks != fallbacks_before:
+        # The estimator degraded mid-job: the demotion (model swap,
+        # fallback counter, cache flush) happened in this fork and is
+        # invisible to the parent, whose estimator would keep serving
+        # the healthy model. Discard the result and fail the job; the
+        # parent abandons the pool and recomputes in-process, where
+        # the degradation applies to the estimator everyone sees.
+        raise RuntimeError(
+            "estimator degraded inside a pool worker; "
+            "recompute in the parent"
+        )
+    return result
 
 
 @dataclass(frozen=True)

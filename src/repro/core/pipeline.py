@@ -204,6 +204,7 @@ class ObserveStage:
     """
 
     name = "observe"
+    # effect: allows[ddl-drop, cache-invalidate]
 
     def run(self, ctx: TuningContext) -> None:
         reverted = ctx.diagnosis.check_applied()
@@ -227,6 +228,7 @@ class DiagnoseStage:
     """The monitored trigger: skip the round unless problems warrant it."""
 
     name = "diagnose"
+    # effect: allows[]
 
     def run(self, ctx: TuningContext) -> None:
         if ctx.force:
@@ -244,6 +246,7 @@ class CandidateStage:
     """Template-driven candidate generation plus the current index set."""
 
     name = "candidates"
+    # effect: allows[]
 
     def run(self, ctx: TuningContext) -> None:
         ctx.candidates = ctx.generator.generate(ctx.templates)
@@ -258,6 +261,7 @@ class SearchStage:
     """
 
     name = "search"
+    # effect: allows[rng]
 
     def run(self, ctx: TuningContext) -> None:
         try:
@@ -278,6 +282,7 @@ class ApplyStage:
     """Transactional DDL apply with full rollback on mid-apply failure."""
 
     name = "apply"
+    # effect: allows[ddl-create, ddl-drop, cache-invalidate, usage-reset, store-write]
 
     def run(self, ctx: TuningContext) -> None:
         result = ctx.result

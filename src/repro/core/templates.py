@@ -89,6 +89,8 @@ class TemplateStore:
     whose text may not be what the store would parse ``sql`` into.
     """
 
+    # cache-keys: fields[_shards, _shard_of, _table_index] invalidator[_touch]
+
     def __init__(
         self,
         capacity: int = 5000,

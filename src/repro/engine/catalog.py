@@ -38,6 +38,8 @@ class TableEntry:
 class Catalog:
     """Registry of tables, indexes, statistics, and what-if overlays."""
 
+    # cache-keys: fields[_tables] invalidator[bump_version]
+
     def __init__(self) -> None:
         self._tables: Dict[str, TableEntry] = {}
         self._hypothetical: Dict[IndexKey, IndexDef] = {}

@@ -205,3 +205,84 @@ class TestBatchScalarParity:
             scalar.best_config
         )
         assert batched.evaluations == scalar.evaluations
+
+
+class TestWorkerDegradeGuard:
+    """A mid-job estimator demotion must fail the pool job.
+
+    The demotion (model swap, fallback counter, cache flush) happens
+    in the forked worker and is invisible to the parent; the guard in
+    ``_pool_cost_job`` turns it into a job failure so the parent
+    abandons the pool and recomputes in-process, where the
+    degradation applies to the estimator everyone sees.
+    """
+
+    def test_pool_job_raises_when_estimator_degrades(self, banking_setup):
+        from repro.core import mcts as mcts_mod
+
+        db, templates, candidates = banking_setup
+        estimator = BenefitEstimator(db)
+        selector = MctsIndexSelector(
+            estimator,
+            iterations=4,
+            rollouts=1,
+            patience=10**9,
+            rng=random.Random(5),
+            workers=1,
+        )
+        existing = db.index_defs()
+        selector.search(
+            existing=existing,
+            candidates=candidates,
+            templates=templates,
+            protected=[d for d in existing if d.unique],
+        )
+
+        class ExplodingModel:
+            def predict(self, matrix):
+                raise ValueError("exploding model")
+
+        estimator.model = ExplodingModel()
+        estimator.clear_cache()
+        mcts_mod._pool_initializer(selector)
+        try:
+            config = frozenset(d.key for d in candidates[:1])
+            with pytest.raises(RuntimeError, match="degraded"):
+                mcts_mod._pool_cost_job(tuple(config))
+            assert estimator.fallbacks == 1
+        finally:
+            mcts_mod._WORKER_SELECTOR = None
+
+    def test_pool_job_passes_results_through_when_healthy(
+        self, banking_setup
+    ):
+        from repro.core import mcts as mcts_mod
+
+        db, templates, candidates = banking_setup
+        estimator = BenefitEstimator(db)
+        selector = MctsIndexSelector(
+            estimator,
+            iterations=4,
+            rollouts=1,
+            patience=10**9,
+            rng=random.Random(5),
+            workers=1,
+        )
+        existing = db.index_defs()
+        selector.search(
+            existing=existing,
+            candidates=candidates,
+            templates=templates,
+            protected=[d for d in existing if d.unique],
+        )
+        mcts_mod._pool_initializer(selector)
+        try:
+            config = frozenset(d.key for d in candidates[:1])
+            job_cost, job_costs = mcts_mod._pool_cost_job(tuple(config))
+            direct_cost, direct_costs = selector._cost_of(
+                config, selector._root_ref
+            )
+            assert job_cost == direct_cost
+            assert job_costs.tolist() == direct_costs.tolist()
+        finally:
+            mcts_mod._WORKER_SELECTOR = None
