@@ -170,16 +170,47 @@ def run_backend(backend: str, seed: int) -> int:
 
 
 def run_faults(
-    seed: int, rate: float, rounds: int, kind: str, out: str
+    seed: int,
+    rate: float,
+    rounds: int,
+    kind: str,
+    out: str,
+    backend: str | None = None,
 ) -> int:
     """Dispatch the chaos benchmark (``--faults``)."""
     from repro.bench.chaos import render_chaos, run_chaos
+    from repro.ports.factory import DEFAULT_BACKEND
 
-    print("=== chaos: tuning under injected faults ===")
+    backend = backend or DEFAULT_BACKEND
+    print(
+        f"=== chaos: tuning under injected faults ({backend}) ==="
+    )
     report = run_chaos(
-        seed=seed, rate=rate, rounds=rounds, kind=kind, out_path=out
+        seed=seed, rate=rate, rounds=rounds, kind=kind, out_path=out,
+        backend=backend,
     )
     for line in render_chaos(report):
+        print("  " + line)
+    print(f"  written to {out}")
+    return 0 if report["ok"] else 1
+
+
+def run_regret_mode(
+    regret_bound: float, out: str, backend: str | None = None
+) -> int:
+    """Dispatch the regret scenario (``--faults --regret``)."""
+    from repro.bench.chaos import render_regret, run_regret
+    from repro.ports.factory import DEFAULT_BACKEND
+
+    backend = backend or DEFAULT_BACKEND
+    print(
+        "=== regret: adversarial estimator vs the regret bound "
+        f"({backend}) ==="
+    )
+    report = run_regret(
+        regret_bound=regret_bound, out_path=out, backend=backend
+    )
+    for line in render_regret(report):
         print("  " + line)
     print(f"  written to {out}")
     return 0 if report["ok"] else 1
@@ -208,7 +239,18 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--faults",
         action="store_true",
-        help="run the chaos benchmark (tuning under injected faults)",
+        help="run the chaos benchmark (tuning under injected faults); "
+             "combine with --backend to pick the adapter",
+    )
+    parser.add_argument(
+        "--regret",
+        action="store_true",
+        help="with --faults: run the regret scenario (adversarial "
+             "estimator vs the configured regret bound, 3 seeds)",
+    )
+    parser.add_argument(
+        "--regret-bound", type=float, default=None,
+        help="cumulative-regret bound for --regret (default 250)",
     )
     parser.add_argument(
         "--seed", type=int, default=11,
@@ -249,14 +291,29 @@ def main(argv: List[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.regret and not args.faults:
+        parser.error("--regret requires --faults")
     if args.faults:
+        if args.regret:
+            from repro.bench.chaos import DEFAULT_REGRET_BOUND
+
+            bound = (
+                args.regret_bound
+                if args.regret_bound is not None
+                else DEFAULT_REGRET_BOUND
+            )
+            if bound <= 0:
+                parser.error("--regret-bound must be > 0")
+            out = args.out or "BENCH_regret.json"
+            return run_regret_mode(bound, out, backend=args.backend)
         if not 0.0 <= args.rate <= 1.0:
             parser.error("--rate must be within [0, 1]")
         if args.rounds < 1:
             parser.error("--rounds must be >= 1")
         out = args.out or "BENCH_chaos.json"
         return run_faults(
-            args.seed, args.rate, args.rounds, args.fault_kind, out
+            args.seed, args.rate, args.rounds, args.fault_kind, out,
+            backend=args.backend,
         )
     if args.perf:
         if args.iterations < 1:

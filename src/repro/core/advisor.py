@@ -28,9 +28,18 @@ from typing import List, Optional, Sequence
 
 from repro.core import checkpoint
 from repro.core.candidates import CandidateGenerator
+from repro.core.changeset import IndexChangeSet
 from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
-from repro.core.estimator import BenefitEstimator, DeepIndexEstimator
+from repro.core.estimator import (
+    BenefitEstimator,
+    DeepIndexEstimator,
+    EstimatorUnavailable,
+)
 from repro.core.mcts import MctsIndexSelector
+from repro.core.safety import (
+    PendingRecommendation,
+    SafetyController,
+)
 from repro.core.pipeline import (
     TuningContext,
     TuningPipeline,
@@ -82,6 +91,9 @@ class AutoIndexAdvisor:
         mcts_workers: int = 1,
         pipeline: Optional[TuningPipeline] = None,
         incremental_diagnosis: bool = True,
+        apply_mode: str = "auto",
+        regret_bound: Optional[float] = None,
+        regret_headroom: float = 1.0,
     ):
         self.db = db
         self.storage_budget = storage_budget
@@ -122,6 +134,16 @@ class AutoIndexAdvisor:
         )
         self.pipeline = (
             pipeline if pipeline is not None else TuningPipeline()
+        )
+        # The regret-bounded apply layer: benefit ledger, shadow
+        # gate, and the DBA review queue. With the defaults
+        # (apply_mode="auto", no regret_bound) the gate never holds a
+        # change back — the ledger still records, so enabling a bound
+        # later starts from real history.
+        self.safety = SafetyController(
+            apply_mode=apply_mode,
+            regret_bound=regret_bound,
+            regret_headroom=regret_headroom,
         )
         self.statements_analyzed = 0
         self.observe_failures = 0
@@ -218,7 +240,17 @@ class AutoIndexAdvisor:
         components = {
             "templates.json": json.dumps(self.store.to_dict()).encode(
                 "utf-8"
-            )
+            ),
+            # Safety layer + observation window: the benefit ledger's
+            # open claims and the post-apply watch list must survive a
+            # crash, or a pending auto-revert (and the regret
+            # accounting behind the bound) is silently forgotten.
+            "safety.json": json.dumps(
+                {
+                    "safety": self.safety.to_dict(),
+                    "watched": self.diagnosis.watched_state(),
+                }
+            ).encode("utf-8"),
         }
         if isinstance(self.estimator.model, DeepIndexEstimator) and (
             self.estimator.model.trained
@@ -274,6 +306,17 @@ class AutoIndexAdvisor:
             self.estimator.model = model
             self.estimator.degraded_reason = None
             self.estimator.clear_cache()
+        state = checkpoint.read_component(
+            directory,
+            "safety.json",
+            lambda blob: json.loads(blob.decode("utf-8")),
+            manifest,
+            report,
+            faults=faults,
+        )
+        if state is not None:
+            self.safety.restore(state.get("safety", {}))
+            self.diagnosis.restore_watched(state.get("watched", ()))
         return report
 
     # ------------------------------------------------------------------
@@ -313,7 +356,114 @@ class AutoIndexAdvisor:
             force=force,
             trigger_threshold=trigger_threshold,
             scope_tables=scope_tables,
+            safety=self.safety,
         )
+
+    # ------------------------------------------------------------------
+    # review mode (DBA in the loop)
+    # ------------------------------------------------------------------
+
+    def pending_recommendations(self) -> List[PendingRecommendation]:
+        """Gated recommendations awaiting a DBA verdict."""
+        return self.safety.queue.pending()
+
+    def accept_recommendation(
+        self, rec_id: int, note: str = ""
+    ) -> PendingRecommendation:
+        """DBA accepts: apply the queued change transactionally.
+
+        The apply goes through the same :class:`IndexChangeSet`
+        guarantees as an autonomous round (full rollback on
+        mid-apply failure, post-apply observation window, benefit
+        ledger claim), so an accepted recommendation is exactly as
+        accountable as an automatic one.
+        """
+        rec = self.safety.queue.resolve(rec_id, accept=True, note=note)
+        self._apply_accepted(rec)
+        return rec
+
+    def reject_recommendation(
+        self, rec_id: int, note: str = ""
+    ) -> PendingRecommendation:
+        """DBA rejects: the change is never applied, and the verdict
+        becomes estimator training data (the affected templates are
+        labelled with their *current* cost under the rejected
+        configuration — "no improvement")."""
+        rec = self.safety.queue.resolve(
+            rec_id, accept=False, note=note
+        )
+        self._train_on_rejection(rec)
+        return rec
+
+    def process_review_verdicts(self) -> List[PendingRecommendation]:
+        """Act on verdicts recorded out of process.
+
+        The review CLI resolves recommendations directly against a
+        checkpoint directory; after :meth:`load_state` those arrive
+        as accepted/rejected-but-unconsumed entries. Accepted changes
+        are applied, rejections are folded into training data.
+        """
+        processed: List[PendingRecommendation] = []
+        for rec in self.safety.queue.unconsumed_verdicts():
+            if rec.status == "accepted":
+                self._apply_accepted(rec)
+            else:
+                self._train_on_rejection(rec)
+            processed.append(rec)
+        return processed
+
+    def regret_summary(self) -> dict:
+        """Ledger counters plus the gate's current posture."""
+        summary = self.safety.ledger.summary()
+        summary["gated_rounds"] = self.safety.gated_rounds
+        summary["shadow_only"] = self.safety.shadow_only()
+        summary["regret_bound"] = self.safety.regret_bound
+        return summary
+
+    def _apply_accepted(self, rec: PendingRecommendation) -> None:
+        changeset = IndexChangeSet(self.db)
+        try:
+            changeset.apply(drops=rec.removals, creates=rec.additions)
+        except Exception:
+            # Catalog restored; the verdict stays unconsumed so the
+            # apply can be retried once the fault clears.
+            changeset.rollback()
+            raise
+        self.diagnosis.register_applied(rec.additions)
+        watchable = [d for d in rec.additions if not d.unique]
+        for definition in watchable:
+            self.safety.ledger.record_prediction(
+                definition, rec.predicted_benefit / len(watchable)
+            )
+        if rec.additions or rec.removals:
+            self.estimator.clear_cache()
+            self.db.reset_index_usage()
+        rec.consumed = True
+
+    def _train_on_rejection(self, rec: PendingRecommendation) -> None:
+        existing = self.db.index_defs()
+        removed = {d.key for d in rec.removals}
+        candidate = [d for d in existing if d.key not in removed]
+        candidate.extend(rec.additions)
+        tables = set(rec.explanation.affected_tables) | {
+            d.table for d in rec.additions
+        } | {d.table for d in rec.removals}
+        samples = 0
+        for template in self.store.templates(top=self.top_templates):
+            if tables and not (set(template.tables) & tables):
+                continue
+            try:
+                current = self.estimator.query_cost(
+                    template, existing
+                )
+                self.estimator.record_template_feedback(
+                    template, candidate, current
+                )
+            except EstimatorUnavailable:
+                continue
+            samples += 1
+        self._observed_since_training += samples
+        rec.consumed = True
 
     def tune(
         self,

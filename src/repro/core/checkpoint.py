@@ -125,6 +125,53 @@ def write_checkpoint(
     return manifest
 
 
+def update_component(
+    directory,
+    name: str,
+    blob: bytes,
+    faults: Optional[FaultInjector] = None,
+) -> Dict:
+    """Replace one component of an existing checkpoint in place.
+
+    Built for out-of-process writers (the review CLI resolving
+    verdicts against a checkpoint directory while the advisor is
+    down): the other components and their manifest entries are
+    preserved verbatim, only ``name`` is rewritten — with the same
+    ``.prev`` rotation and manifest-last ordering as a full
+    :func:`write_checkpoint`, so crash-safety guarantees carry over.
+    Returns the new manifest.
+    """
+    path = pathlib.Path(directory)
+    manifest = read_manifest(path, faults=faults) or {
+        "format_version": FORMAT_VERSION,
+        "components": {},
+    }
+    entries: Dict[str, Dict] = dict(manifest.get("components", {}))
+    fault_check(faults, "checkpoint.io")
+    target = path / name
+    if target.exists():
+        os.replace(target, path / (name + PREV_SUFFIX))
+    atomic_write(target, blob)
+    entries[name] = {"sha256": _sha256(blob), "bytes": len(blob)}
+    fault_check(faults, "checkpoint.io")
+    updated = {
+        "format_version": manifest.get(
+            "format_version", FORMAT_VERSION
+        ),
+        "components": entries,
+    }
+    manifest_blob = json.dumps(updated, indent=2, sort_keys=True).encode(
+        "utf-8"
+    )
+    manifest_target = path / MANIFEST_NAME
+    if manifest_target.exists():
+        os.replace(
+            manifest_target, path / (MANIFEST_NAME + PREV_SUFFIX)
+        )
+    atomic_write(manifest_target, manifest_blob)
+    return updated
+
+
 def read_manifest(
     directory, faults: Optional[FaultInjector] = None
 ) -> Optional[Dict]:

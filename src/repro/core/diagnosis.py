@@ -111,6 +111,11 @@ class IndexDiagnosis:
         self.revert_window = revert_window
         self.revert_min_maintenance = revert_min_maintenance
         self._watched: Dict[Tuple, Tuple[IndexDef, int]] = {}
+        #: windows closed by the last consuming pass, with how:
+        #: "reverted" | "expired" | "disappeared". Drained by
+        #: :meth:`pop_closed` (the benefit ledger settles its claims
+        #: from these).
+        self._closed: List[Tuple[IndexDef, str]] = []
         self.incremental = incremental
         #: shard key → (shard version, [(sort key, template), ...]).
         self._shard_snapshots: Dict[str, Tuple[int, List]] = {}
@@ -300,6 +305,7 @@ class IndexDiagnosis:
             if used is None:
                 if consume:
                     del self._watched[key]  # dropped by other means
+                    self._closed.append((definition, "disappeared"))
                 continue
             if (
                 used.maintenance_ops >= self.revert_min_maintenance
@@ -309,12 +315,60 @@ class IndexDiagnosis:
                 regressed.append(definition)
                 if consume:
                     del self._watched[key]
+                    self._closed.append((definition, "reverted"))
                 continue
             if not consume:
                 continue
             remaining -= 1
             if remaining <= 0:
                 del self._watched[key]
+                self._closed.append((definition, "expired"))
             else:
                 self._watched[key] = (definition, remaining)
         return regressed
+
+    def pop_closed(self) -> List[Tuple[IndexDef, str]]:
+        """Drain windows closed by consuming passes since last drain.
+
+        Each entry is ``(definition, how)`` with ``how`` one of
+        ``"reverted"`` (regression flagged), ``"expired"`` (window
+        ended healthy), or ``"disappeared"`` (dropped by other
+        means). Reverted/expired arms are still in the catalog when
+        this runs — the revert DDL happens after — so callers can
+        measure their observed benefit in place.
+        """
+        closed, self._closed = self._closed, []
+        return closed
+
+    def rewatch(
+        self,
+        definitions: Sequence[IndexDef],
+        remaining: int = 1,
+    ) -> None:
+        """Put definitions back under watch (e.g. a revert's own DDL
+        failed and was rolled back; the regression re-flags next
+        round instead of silently escaping the window)."""
+        for definition in definitions:
+            self._watched[definition.key] = (definition, remaining)
+
+    def watched_state(self) -> List[Dict]:
+        """JSON-safe observation-window state (for checkpoints)."""
+        return [
+            {"definition": d.to_dict(), "remaining": remaining}
+            for d, remaining in self._watched.values()
+        ]
+
+    def restore_watched(self, state: Sequence[Dict]) -> None:
+        """Adopt checkpointed observation-window state.
+
+        A crash between an apply and its window expiry must not
+        silence the pending auto-revert: restoring puts the arms
+        back under watch with their remaining passes intact.
+        """
+        self._watched = {}
+        for entry in state:
+            definition = IndexDef.from_dict(entry["definition"])
+            self._watched[definition.key] = (
+                definition,
+                int(entry["remaining"]),
+            )

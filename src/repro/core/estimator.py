@@ -648,6 +648,36 @@ class BenefitEstimator:
         """Frequency-weighted total workload cost under ``config``."""
         return float(self.workload_costs(templates, config).sum())
 
+    def shadow_workload_cost(
+        self,
+        templates: Sequence[QueryTemplate],
+        config: Sequence[IndexDef],
+    ) -> float:
+        """Model-independent analytic workload cost under ``config``.
+
+        The shadow gate's yardstick: planned features summed with the
+        static what-if formula (``CostFeatures.naive_total``),
+        bypassing the trained model and the cost tier entirely. A
+        miscalibrated model cannot bend this number, which is what
+        lets the safety layer measure the model's own error against
+        it. Shares the feature tier with normal estimation, so after
+        a search the round's configurations are usually already
+        planned. Raises :class:`EstimatorUnavailable` when planning
+        itself is down.
+        """
+        self._check_version()
+        total = 0.0
+        for template in templates:
+            weight = (
+                template.window_frequency + 0.1 * template.frequency
+            )
+            if weight < 0.1:
+                weight = 0.1
+            key, relevant = self._relevant_config(template, config)
+            features = self._features_for(template, key, relevant)
+            total += weight * features.naive_total
+        return total
+
     def workload_cost_delta(
         self,
         parent_costs: np.ndarray,
@@ -818,6 +848,28 @@ class BenefitEstimator:
         features = compute_features(self.backend, statement, config)
         self.history.append(
             HistorySample(features=features, actual_cost=actual_cost)
+        )
+
+    def record_template_feedback(
+        self,
+        template: QueryTemplate,
+        config: Sequence[IndexDef],
+        actual_cost: float,
+    ) -> None:
+        """Log a DBA-verdict training pair for one template.
+
+        A rejected recommendation is a label: the DBA asserts the
+        template's cost under ``config`` is ``actual_cost`` (the
+        current cost), not what the model claimed. Planned through
+        the same feature tier as estimation, so the sample's features
+        match what the model would be asked at prediction time.
+        """
+        key, relevant = self._relevant_config(template, config)
+        features = self._features_for(template, key, relevant)
+        self.history.append(
+            HistorySample(
+                features=features, actual_cost=float(actual_cost)
+            )
         )
 
     def training_matrix(self) -> Tuple[np.ndarray, np.ndarray]:

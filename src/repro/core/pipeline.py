@@ -26,6 +26,13 @@ from repro.core.changeset import IndexChangeSet
 from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
 from repro.core.estimator import BenefitEstimator, EstimatorUnavailable
 from repro.core.mcts import MctsIndexSelector, SearchResult
+from repro.core.safety import (
+    Explanation,
+    SafetyController,
+    ShadowReport,
+    evaluate_shadow,
+    explain_change,
+)
 from repro.core.templates import QueryTemplate, TemplateStore
 from repro.engine.faults import FaultInjector
 from repro.engine.index import IndexDef
@@ -59,6 +66,15 @@ class TuningReport:
     rolled_back: int = 0
     deadline_hit: bool = False
     degraded: Optional[str] = None
+    # Safety layer (regret-bounded apply): whether the shadow gate
+    # held this round's change back, why, the review-queue id it was
+    # parked under, the analytic shadow margin, and the ledger's
+    # cumulative regret after the round.
+    gated: bool = False
+    gate_reason: str = ""
+    queued: Optional[int] = None
+    shadow_margin: Optional[float] = None
+    cumulative_regret: Optional[float] = None
 
     @property
     def changed(self) -> bool:
@@ -106,6 +122,13 @@ class TuningReport:
             resilience.append("search deadline hit")
         if resilience:
             lines.append("resilience: " + ", ".join(resilience))
+        if self.gated:
+            target = (
+                f" (queued as recommendation #{self.queued})"
+                if self.queued is not None
+                else ""
+            )
+            lines.append(f"gated: {self.gate_reason}{target}")
         if self.degraded:
             lines.append(f"degraded: {self.degraded}")
         return "\n".join(lines)
@@ -161,6 +184,9 @@ class TuningContext:
     #: sharded store serves them without scanning every shard);
     #: ``None`` tunes against the whole workload.
     scope_tables: Optional[List[str]] = None
+    #: The regret-bounded apply layer; ``None`` runs the pre-safety
+    #: pipeline (no ledger, no gate) for contexts built by hand.
+    safety: Optional[SafetyController] = None
     # Round state.
     report: TuningReport = field(default_factory=TuningReport)
     timer: Stopwatch = field(default_factory=Stopwatch)
@@ -170,6 +196,7 @@ class TuningContext:
     existing: List[IndexDef] = field(default_factory=list)
     problems: Optional[IndexProblemReport] = None
     result: Optional[SearchResult] = None
+    shadow: Optional[ShadowReport] = None
     done: bool = False
 
     def __post_init__(self) -> None:
@@ -192,6 +219,10 @@ class TuningContext:
             report.degraded = self.estimator.degraded_reason
         report.statements_analyzed = statements_analyzed
         report.elapsed_seconds = self.timer.elapsed()
+        if self.safety is not None:
+            report.cumulative_regret = (
+                self.safety.ledger.cumulative_regret
+            )
         return report
 
 
@@ -199,21 +230,41 @@ class ObserveStage:
     """Settle the observation window before planning anything new.
 
     Recently-applied indexes whose post-apply window shows regression
-    are reverted (the paper's guarded-apply loop), then the round's
-    working set of templates is pulled from SQL2Template.
+    are reverted (the paper's guarded-apply loop). Before any revert
+    DDL runs, every window that closed this pass settles its benefit
+    ledger claim — the observed benefit is measured with the arm
+    still in the catalog. The revert itself goes through a
+    transactional changeset (``ddl-create`` in the contract is the
+    rollback's re-create): a fault during the revert's own DDL rolls
+    the catalog back to exactly the pre-revert state and the
+    regressed indexes are re-watched so the revert retries next
+    round instead of stranding a half-reverted catalog.
     """
 
     name = "observe"
-    # effect: allows[ddl-drop, cache-invalidate]
+    # effect: allows[ddl-drop, ddl-create, cache-invalidate]
 
     def run(self, ctx: TuningContext) -> None:
         reverted = ctx.diagnosis.check_applied()
-        for definition in reverted:
-            ctx.backend.drop_index(definition)
+        closed = ctx.diagnosis.pop_closed()
+        if ctx.safety is not None and closed:
+            self._settle_ledger(ctx, closed)
         if reverted:
-            ctx.estimator.clear_cache()
-        ctx.report.dropped.extend(reverted)
-        ctx.report.rolled_back += len(reverted)
+            changeset = IndexChangeSet(ctx.backend)
+            try:
+                changeset.apply(drops=reverted, creates=[])
+            except Exception as exc:
+                undone = changeset.rollback()
+                ctx.report.rolled_back += undone
+                ctx.diagnosis.rewatch(reverted)
+                ctx.report.degraded = (
+                    f"auto-revert failed after {undone} changes, "
+                    f"rolled back: {exc}"
+                )
+            else:
+                ctx.estimator.clear_cache()
+                ctx.report.dropped.extend(reverted)
+                ctx.report.rolled_back += len(reverted)
         if ctx.scope_tables is not None:
             # Table-scoped round: only the affected shards of the
             # template store are consulted.
@@ -222,6 +273,55 @@ class ObserveStage:
             )
         else:
             ctx.templates = ctx.store.templates(top=ctx.top_templates)
+
+    def _settle_ledger(self, ctx: TuningContext, closed) -> None:
+        """Settle benefit-ledger claims for windows that just closed.
+
+        Observed benefit of an arm is the analytic shadow cost of the
+        current workload *without* the arm minus the cost *with* it —
+        measured before any revert DDL, so both configurations are
+        what-if only. Arms without an open claim (e.g. re-watched
+        after a failed revert, or applied before the safety layer
+        existed) are skipped; an arm that disappeared outside the
+        advisor's control has nothing measurable and its claim is
+        withdrawn.
+        """
+        assert ctx.safety is not None
+        ledger = ctx.safety.ledger
+        measurable = []
+        for definition, how in closed:
+            if not ledger.has_pending(definition):
+                continue
+            if how == "disappeared":
+                ledger.drop_pending(definition)
+                continue
+            measurable.append(definition)
+        if not measurable:
+            return
+        templates = ctx.store.templates(top=ctx.top_templates)
+        config = ctx.backend.index_defs()
+        try:
+            with_cost = ctx.estimator.shadow_workload_cost(
+                templates, config
+            )
+            for definition in measurable:
+                without = [
+                    d for d in config if d.key != definition.key
+                ]
+                without_cost = ctx.estimator.shadow_workload_cost(
+                    templates, without
+                )
+                ledger.record_observation(
+                    definition, without_cost - with_cost
+                )
+        except EstimatorUnavailable:
+            # Shadow costing is down (planner faults): settle at face
+            # value — predicted == observed charges no regret and
+            # records no error, the neutral outcome.
+            for definition in measurable:
+                predicted = ledger.pending_prediction(definition)
+                if predicted is not None:
+                    ledger.record_observation(definition, predicted)
 
 
 class DiagnoseStage:
@@ -278,6 +378,101 @@ class SearchStage:
             ctx.done = True
 
 
+def _fill_search_summary(ctx: TuningContext, result) -> None:
+    """Round-summary fields shared by the shadow gate and the apply."""
+    report = ctx.report
+    report.estimated_benefit = result.best_benefit
+    report.baseline_cost = result.baseline_cost
+    report.templates_used = len(ctx.templates)
+    report.candidates_considered = len(ctx.candidates)
+    report.cache_hit_rate = result.cache_stats["cost"].hit_rate
+    report.search = result
+    report.deadline_hit = result.deadline_hit
+
+
+class ShadowStage:
+    """Shadow evaluation: judge the candidate before any DDL exists.
+
+    Costs the current and candidate configurations on the round's
+    template stream through hypothetical what-if indexes only —
+    nothing here touches the catalog, which is exactly what the empty
+    effect contract proves. When the :class:`SafetyController` gates
+    the change (margin below historical estimator error, regret
+    budget exhausted, or review/shadow mode), the recommendation is
+    parked in the review queue with a per-template explanation and
+    the round ends without applying; a gated round deliberately does
+    not reset the store's tuning window, since the workload the
+    recommendation was judged against is still the one awaiting a
+    verdict.
+    """
+
+    name = "shadow"
+    # effect: allows[]
+
+    def run(self, ctx: TuningContext) -> None:
+        result = ctx.result
+        assert result is not None, "SearchStage must run before ShadowStage"
+        safety = ctx.safety
+        if safety is None:
+            return
+        if not result.additions and not result.removals:
+            return  # nothing to gate; ApplyStage finishes the report
+        try:
+            shadow = evaluate_shadow(
+                ctx.estimator,
+                ctx.templates,
+                ctx.existing,
+                result.additions,
+                result.removals,
+            )
+        except EstimatorUnavailable as exc:
+            shadow = ShadowReport(unavailable=True, note=str(exc))
+        ctx.shadow = shadow
+        report = ctx.report
+        if not shadow.unavailable:
+            report.shadow_margin = shadow.margin
+        decision = safety.decide(shadow)
+        if decision.action == "apply":
+            return
+        if shadow.unavailable:
+            # Costing is down; the queue entry still names the change
+            # and its tables so the DBA sees what was held back.
+            explanation = Explanation(
+                affected_tables=sorted(
+                    {d.table for d in result.additions}
+                    | {d.table for d in result.removals}
+                )
+            )
+        else:
+            explanation = explain_change(
+                ctx.estimator,
+                ctx.templates,
+                ctx.existing,
+                result.additions,
+                result.removals,
+            )
+        rec = safety.queue.submit(
+            additions=result.additions,
+            removals=result.removals,
+            predicted_benefit=(
+                shadow.predicted_benefit
+                if not shadow.unavailable
+                else result.best_benefit
+            ),
+            shadow_margin=(
+                shadow.margin if not shadow.unavailable else None
+            ),
+            reason=decision.reason,
+            explanation=explanation,
+        )
+        safety.gated_rounds += 1
+        report.gated = True
+        report.gate_reason = decision.reason
+        report.queued = rec.rec_id
+        _fill_search_summary(ctx, result)
+        ctx.done = True
+
+
 class ApplyStage:
     """Transactional DDL apply with full rollback on mid-apply failure."""
 
@@ -305,18 +500,40 @@ class ApplyStage:
             report.created = list(result.additions)
             report.dropped.extend(result.removals)
             ctx.diagnosis.register_applied(result.additions)
+            if ctx.safety is not None:
+                self._open_claims(ctx, result)
             if result.additions or result.removals:
                 ctx.estimator.clear_cache()
                 ctx.backend.reset_index_usage()
 
-        report.estimated_benefit = result.best_benefit
-        report.baseline_cost = result.baseline_cost
-        report.templates_used = len(ctx.templates)
-        report.candidates_considered = len(ctx.candidates)
-        report.cache_hit_rate = result.cache_stats["cost"].hit_rate
-        report.search = result
-        report.deadline_hit = result.deadline_hit
+        _fill_search_summary(ctx, result)
         ctx.store.begin_tuning_window()
+
+    def _open_claims(self, ctx: TuningContext, result) -> None:
+        """Record each applied arm's predicted benefit in the ledger.
+
+        The per-arm split comes from the shadow evaluation when it
+        ran; without one (safety off for the round, or costing down)
+        the search's total benefit is split evenly across the
+        additions — deterministic, and settled against real
+        observations either way. Unique (constraint) indexes never
+        enter the observation window, so no claim is opened for them.
+        """
+        assert ctx.safety is not None
+        ledger = ctx.safety.ledger
+        watchable = [d for d in result.additions if not d.unique]
+        if not watchable:
+            return
+        per_arm = {}
+        if ctx.shadow is not None and not ctx.shadow.unavailable:
+            per_arm = {
+                d.key: benefit for d, benefit in ctx.shadow.per_arm
+            }
+        fallback = result.best_benefit / len(watchable)
+        for definition in watchable:
+            ledger.record_prediction(
+                definition, per_arm.get(definition.key, fallback)
+            )
 
 
 def default_stages() -> List:
@@ -326,6 +543,7 @@ def default_stages() -> List:
         DiagnoseStage(),
         CandidateStage(),
         SearchStage(),
+        ShadowStage(),
         ApplyStage(),
     ]
 

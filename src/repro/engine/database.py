@@ -112,6 +112,10 @@ class Database:
         return index
 
     def drop_index(self, definition: IndexDef) -> None:
+        # Drops share the ``index.build`` fault point with creates:
+        # it fires *before* the catalog mutates, so an injected DDL
+        # fault leaves the index fully in place — never half-dropped.
+        fault_check(self.faults, "index.build")
         self.catalog.drop_index(definition)
 
     def has_index(self, definition: IndexDef) -> bool:

@@ -72,6 +72,26 @@ class IndexDef:
             key = (self.table, self.columns)
         object.__setattr__(self, "_key", key)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (checkpoint components, review queue)."""
+        return {
+            "table": self.table,
+            "columns": list(self.columns),
+            "name": self.name,
+            "unique": self.unique,
+            "scope": self.scope.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IndexDef":
+        return cls(
+            table=str(data["table"]),
+            columns=tuple(data["columns"]),  # type: ignore[arg-type]
+            name=data.get("name"),  # type: ignore[arg-type]
+            unique=bool(data.get("unique", False)),
+            scope=IndexScope(data.get("scope", "global")),
+        )
+
     @property
     def key(self) -> Tuple:
         """Identity key: (table, columns[, scope for LOCAL]).

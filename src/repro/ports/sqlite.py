@@ -224,6 +224,10 @@ class SqliteBackend:
         return shadow
 
     def drop_index(self, definition: IndexDef) -> None:
+        # Same fault point as creates, checked before any mutation:
+        # an injected fault leaves SQLite and the shadow catalog
+        # untouched, never a half-dropped index.
+        fault_check(self.faults, "index.build")
         dropped = self.catalog.drop_index(definition)
         self.conn.execute(
             f"DROP INDEX {_quote(dropped.definition.display_name)}"

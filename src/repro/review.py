@@ -1,0 +1,178 @@
+"""DBA review CLI: act on gated recommendations from the terminal.
+
+The advisor's safety layer parks gated recommendations in a review
+queue that persists inside the checkpoint directory
+(``safety.json``). This tool lets a DBA inspect and resolve them
+without the advisor process running::
+
+    python -m repro.review CKPT list
+    python -m repro.review CKPT show 3
+    python -m repro.review CKPT accept 3 --note "matches the new report workload"
+    python -m repro.review CKPT reject 3 --note "write-heavy table, not worth it"
+
+Verdicts are written back into the checkpoint with the same
+crash-safety guarantees as an advisor save (atomic replace, previous
+generation kept, manifest updated last). The verdict itself changes
+no catalog: the next advisor that restores the checkpoint applies
+accepted changes transactionally and folds rejections into the
+estimator's training data via
+:meth:`~repro.core.advisor.AutoIndexAdvisor.process_review_verdicts`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core import checkpoint
+from repro.core.safety import ReviewQueue
+
+SAFETY_COMPONENT = "safety.json"
+
+
+def _load_state(directory) -> Optional[dict]:
+    """The checkpoint's safety payload, or None when unreadable."""
+    manifest = checkpoint.read_manifest(directory)
+    report = checkpoint.CheckpointLoadReport()
+    state = checkpoint.read_component(
+        directory,
+        SAFETY_COMPONENT,
+        lambda blob: json.loads(blob.decode("utf-8")),
+        manifest,
+        report,
+    )
+    if not isinstance(state, dict):
+        return None
+    return state
+
+
+def _save_state(directory, state: dict) -> None:
+    checkpoint.update_component(
+        directory,
+        SAFETY_COMPONENT,
+        json.dumps(state).encode("utf-8"),
+    )
+
+
+def _queue_of(state: dict) -> ReviewQueue:
+    return ReviewQueue.from_dict(
+        state.get("safety", {}).get("queue", {})
+    )
+
+
+def _store_queue(state: dict, queue: ReviewQueue) -> dict:
+    safety = dict(state.get("safety", {}))
+    safety["queue"] = queue.to_dict()
+    updated = dict(state)
+    updated["safety"] = safety
+    return updated
+
+
+def cmd_list(queue: ReviewQueue) -> int:
+    pending = queue.pending()
+    if not pending:
+        print("no pending recommendations")
+        return 0
+    print(f"{len(pending)} pending recommendation(s):")
+    for rec in pending:
+        creates = ", ".join(str(d) for d in rec.additions) or "(none)"
+        drops = ", ".join(str(d) for d in rec.removals) or "(none)"
+        print(
+            f"  #{rec.rec_id}: create {creates}; drop {drops}; "
+            f"predicted benefit {rec.predicted_benefit:,.1f}"
+        )
+        print(f"      gated because: {rec.reason}")
+    return 0
+
+
+def cmd_show(queue: ReviewQueue, rec_id: int) -> int:
+    try:
+        rec = queue.get(rec_id)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    print(rec.render())
+    return 0
+
+
+def cmd_resolve(
+    directory,
+    state: dict,
+    queue: ReviewQueue,
+    rec_id: int,
+    accept: bool,
+    note: str,
+) -> int:
+    try:
+        rec = queue.resolve(rec_id, accept=accept, note=note)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0])
+        return 2
+    _save_state(directory, _store_queue(state, queue))
+    verdict = "accepted" if accept else "rejected"
+    print(
+        f"recommendation #{rec.rec_id} {verdict}; the next advisor "
+        "restoring this checkpoint will "
+        + (
+            "apply it transactionally"
+            if accept
+            else "fold the verdict into estimator training data"
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.review",
+        description=(
+            "Inspect and resolve the advisor's gated index "
+            "recommendations stored in a checkpoint directory."
+        ),
+    )
+    parser.add_argument(
+        "checkpoint", help="advisor checkpoint directory"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list pending recommendations")
+    show = sub.add_parser("show", help="full explanation for one")
+    show.add_argument("rec_id", type=int)
+    accept = sub.add_parser(
+        "accept", help="approve: applied on next advisor restore"
+    )
+    accept.add_argument("rec_id", type=int)
+    accept.add_argument("--note", default="", help="verdict note")
+    reject = sub.add_parser(
+        "reject",
+        help="decline: never applied, becomes training signal",
+    )
+    reject.add_argument("rec_id", type=int)
+    reject.add_argument("--note", default="", help="verdict note")
+    args = parser.parse_args(argv)
+
+    state = _load_state(args.checkpoint)
+    if state is None:
+        print(
+            f"no readable {SAFETY_COMPONENT} in "
+            f"{args.checkpoint!r} (not an advisor checkpoint?)"
+        )
+        return 2
+    queue = _queue_of(state)
+    if args.command == "list":
+        return cmd_list(queue)
+    if args.command == "show":
+        return cmd_show(queue, args.rec_id)
+    return cmd_resolve(
+        args.checkpoint,
+        state,
+        queue,
+        args.rec_id,
+        accept=args.command == "accept",
+        note=args.note,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -63,18 +63,24 @@ def test_deleting_touch_from_insert_fires_cache_invalidation(tree):
     )
 
 
-def test_ddl_in_observe_stage_fires_stage_effects(tree):
+def test_ddl_in_shadow_stage_fires_stage_effects(tree):
+    # The shadow-evaluation stage's whole contract is that it judges
+    # a candidate configuration *without* touching the catalog
+    # (allows[]); DDL sneaking in must turn the lint red.
+    anchor = (
+        '        assert result is not None, '
+        '"SearchStage must run before ShadowStage"'
+    )
     _mutate(
         tree,
         "core/pipeline.py",
-        "        reverted = ctx.diagnosis.check_applied()",
-        "        reverted = ctx.diagnosis.check_applied()\n"
-        "        ctx.backend.create_index(None)",
+        anchor,
+        anchor + "\n        ctx.backend.create_index(None)",
     )
     found = _project_lint(tree, "stage-effects")
-    assert found, "DDL-create inside ObserveStage went undetected"
+    assert found, "DDL-create inside ShadowStage went undetected"
     assert any(
-        "ObserveStage" in v.message and "ddl-create" in v.message
+        "ShadowStage" in v.message and "ddl-create" in v.message
         for v in found
     )
 

@@ -99,3 +99,49 @@ class TestPerfBenchSmoke:
         # modes resolve nearly everything through it.
         assert report["full"]["raw_cache"]["hits"] == 0
         assert report["cached"]["raw_cache"]["hits"] > 0
+
+
+class TestFaultsArguments:
+    def test_regret_requires_faults(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--regret"])
+
+    def test_nonpositive_regret_bound_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--faults", "--regret", "--regret-bound", "0"])
+
+    def test_bad_fault_rate_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--faults", "--rate", "1.5"])
+
+
+class TestChaosBenchSmoke:
+    """Tiny end-to-end runs of the chaos/regret scenarios."""
+
+    def test_chaos_on_sqlite_backend(self, tmp_path):
+        from repro.bench.chaos import run_chaos
+
+        out = tmp_path / "chaos.json"
+        report = run_chaos(
+            seed=11, rate=0.2, rounds=2, queries_per_round=120,
+            out_path=str(out), backend="sqlite",
+        )
+        assert out.exists()
+        assert report["backend"] == "sqlite"
+        assert report["ok"] is True
+        assert report["replay_identical"]
+        assert report["faults_off_identical"]
+
+    def test_regret_stays_bounded_and_replays(self, tmp_path):
+        from repro.bench.chaos import run_regret
+
+        out = tmp_path / "regret.json"
+        report = run_regret(
+            seeds=(11,), rounds=3, queries_per_round=120,
+            out_path=str(out),
+        )
+        assert out.exists()
+        assert report["all_within_bound"]
+        assert report["all_replay_identical"]
+        row = report["per_seed"][0]
+        assert row["cumulative_regret"] <= report["regret_bound"]

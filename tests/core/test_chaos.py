@@ -314,7 +314,9 @@ class TestGuardedApply:
         people_db.create_index(self.IDX_A)  # before injection starts
         attach(
             people_db,
-            FaultPlan(seed=0).add("index.build", schedule=[1]),
+            # Drops check index.build too now, so the drop is visit 1
+            # and the create is visit 2.
+            FaultPlan(seed=0).add("index.build", schedule=[2]),
         )
         changeset = IndexChangeSet(people_db)
         with pytest.raises(FaultError):

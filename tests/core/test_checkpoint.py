@@ -34,6 +34,7 @@ class TestManifest:
         assert manifest is not None
         assert set(manifest["components"]) == {
             "templates.json",
+            "safety.json",
             "estimator.npz",
         }
         report = AutoIndexAdvisor(people_db).load_state(tmp_path)
@@ -140,8 +141,8 @@ class TestKilledMidSave:
         good_size = len(advisor.store)
 
         # Second save dies on its second checkpoint.io visit — after
-        # templates.json was renamed to .prev but before (or during)
-        # the estimator write; the manifest is never refreshed.
+        # templates.json was renamed to .prev but before the safety
+        # and estimator writes; the manifest is never refreshed.
         advisor.observe("SELECT name FROM people WHERE id = 2")
         people_db.faults = FaultPlan(seed=0).add(
             "checkpoint.io", schedule=[2]
@@ -166,7 +167,7 @@ class TestKilledMidSave:
         """Exhaustive: kill the save at each checkpoint.io visit."""
         advisor = trained_advisor(people_db)
         advisor.save_state(tmp_path)
-        for visit in (1, 2, 3):
+        for visit in (1, 2, 3, 4):
             people_db.faults = FaultPlan(seed=0).add(
                 "checkpoint.io", schedule=[visit]
             ).injector()

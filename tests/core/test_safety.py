@@ -1,0 +1,321 @@
+"""The regret-bounded safety layer: ledger, gate, and persistence.
+
+Unit coverage for :mod:`repro.core.safety` plus the two resilience
+scenarios the tentpole demands end to end:
+
+* an advisor killed *inside* a post-apply observation window must,
+  after restore, still auto-revert the regressing index (the window
+  and the ledger claim both live in ``safety.json``);
+* a fault during the revert's own DDL must not strand a half-reverted
+  catalog — the changeset rolls back and the window is re-armed so
+  the revert retries on the next pass.
+"""
+
+from repro.core.advisor import AutoIndexAdvisor
+from repro.core.safety import (
+    BenefitLedger,
+    Explanation,
+    ReviewQueue,
+    SafetyController,
+    ShadowReport,
+)
+from repro.engine.faults import FaultPlan
+from repro.engine.index import IndexDef
+
+from .test_chaos import READS, UPDATES, attach
+
+IDX_A = IndexDef(table="people", columns=("community",))
+IDX_B = IndexDef(table="people", columns=("status",))
+IDX_OTHER = IndexDef(table="orders", columns=("amount",))
+
+
+class TestBenefitLedger:
+    def test_claim_lifecycle_and_regret(self):
+        ledger = BenefitLedger()
+        ledger.record_prediction(IDX_A, 100.0)
+        assert ledger.has_pending(IDX_A)
+        assert ledger.pending_exposure() == 100.0
+        regret = ledger.record_observation(IDX_A, 30.0)
+        assert regret == 70.0
+        assert ledger.cumulative_regret == 70.0
+        assert not ledger.has_pending(IDX_A)
+        assert ledger.pending_exposure() == 0.0
+
+    def test_overdelivery_earns_no_credit(self):
+        ledger = BenefitLedger()
+        ledger.record_prediction(IDX_A, 10.0)
+        assert ledger.record_observation(IDX_A, 50.0) == 0.0
+        # ...but the error history still remembers the miss.
+        assert ledger.error_for(IDX_A) == 40.0
+
+    def test_drop_pending_withdraws_the_claim(self):
+        ledger = BenefitLedger()
+        ledger.record_prediction(IDX_A, 42.0)
+        ledger.drop_pending(IDX_A)
+        assert not ledger.has_pending(IDX_A)
+        assert ledger.cumulative_regret == 0.0
+
+    def test_error_fallback_ladder(self):
+        ledger = BenefitLedger()
+        # Fresh ledger: no history at any level -> never gates.
+        assert ledger.error_for(IDX_A) is None
+        ledger.record_prediction(IDX_B, 20.0)
+        ledger.record_observation(IDX_B, 10.0)  # error 10 on people
+        # IDX_A has no arm history -> same-table pool (people).
+        assert ledger.error_for(IDX_A) == 10.0
+        # Other table -> global pool.
+        assert ledger.error_for(IDX_OTHER) == 10.0
+        # The exact arm's own history wins once it exists.
+        ledger.record_prediction(IDX_A, 5.0)
+        ledger.record_observation(IDX_A, 3.0)
+        assert ledger.error_for(IDX_A) == 2.0
+
+    def test_round_trip_preserves_accounting(self):
+        ledger = BenefitLedger()
+        ledger.record_prediction(IDX_A, 100.0)
+        ledger.record_observation(IDX_A, 30.0)
+        ledger.record_prediction(IDX_B, 7.5)
+        restored = BenefitLedger.from_dict(ledger.to_dict())
+        assert restored.cumulative_regret == 70.0
+        assert restored.has_pending(IDX_B)
+        assert restored.pending_prediction(IDX_B) == 7.5
+        assert restored.error_for(IDX_A) == 70.0
+
+
+class TestReviewQueue:
+    def _submit(self, queue, additions=(IDX_A,), reason="r"):
+        return queue.submit(
+            additions=list(additions),
+            removals=[],
+            predicted_benefit=5.0,
+            shadow_margin=4.0,
+            reason=reason,
+            explanation=Explanation(),
+        )
+
+    def test_identical_pending_changes_dedup(self):
+        queue = ReviewQueue()
+        first = self._submit(queue)
+        again = self._submit(queue, reason="new reason")
+        assert again.rec_id == first.rec_id
+        assert first.reason == "new reason"
+        assert len(queue.all_items()) == 1
+
+    def test_resolved_change_can_be_requeued(self):
+        queue = ReviewQueue()
+        first = self._submit(queue)
+        queue.resolve(first.rec_id, accept=False, note="no")
+        second = self._submit(queue)
+        assert second.rec_id != first.rec_id
+
+    def test_double_resolve_raises(self):
+        import pytest
+
+        queue = ReviewQueue()
+        rec = self._submit(queue)
+        queue.resolve(rec.rec_id, accept=True)
+        with pytest.raises(ValueError):
+            queue.resolve(rec.rec_id, accept=False)
+
+    def test_round_trip_keeps_ids_monotonic(self):
+        queue = ReviewQueue()
+        rec = self._submit(queue)
+        queue.resolve(rec.rec_id, accept=False)
+        restored = ReviewQueue.from_dict(queue.to_dict())
+        fresh = self._submit(restored)
+        assert fresh.rec_id > rec.rec_id
+        assert restored.unconsumed_verdicts()[0].rec_id == rec.rec_id
+
+
+def shadow(margin=10.0, benefit=10.0, arms=((IDX_A, 10.0),)):
+    return ShadowReport(
+        current_cost=100.0,
+        candidate_cost=100.0 - margin,
+        model_current=100.0,
+        model_candidate=100.0 - benefit,
+        per_arm=list(arms),
+    )
+
+
+class TestSafetyController:
+    def test_auto_without_bound_never_gates(self):
+        controller = SafetyController(apply_mode="auto")
+        assert not controller.gating_active()
+        assert controller.decide(shadow()).action == "apply"
+
+    def test_review_mode_queues_everything(self):
+        controller = SafetyController(apply_mode="review")
+        decision = controller.decide(shadow())
+        assert decision.action == "queue"
+        assert "review" in decision.reason
+
+    def test_shadow_mode_queues_everything(self):
+        controller = SafetyController(apply_mode="shadow")
+        assert controller.shadow_only()
+        assert controller.decide(shadow()).action == "queue"
+
+    def test_unavailable_shadow_queues_under_a_bound(self):
+        controller = SafetyController(regret_bound=1000.0)
+        decision = controller.decide(
+            ShadowReport(unavailable=True, note="model down")
+        )
+        assert decision.action == "queue"
+        assert "unavailable" in decision.reason
+
+    def test_fresh_ledger_applies_within_budget(self):
+        controller = SafetyController(regret_bound=1000.0)
+        assert controller.decide(shadow()).action == "apply"
+
+    def test_budget_check_counts_settled_pending_and_charge(self):
+        controller = SafetyController(regret_bound=100.0)
+        controller.ledger.record_prediction(IDX_B, 60.0)
+        controller.ledger.record_observation(IDX_B, 0.0)  # regret 60
+        # 60 settled + 50 new claim > 100 -> queue.
+        decision = controller.decide(
+            shadow(benefit=50.0, arms=((IDX_A, 50.0),))
+        )
+        assert decision.action == "queue"
+        assert "regret budget" in decision.reason
+
+    def test_margin_below_historical_error_queues(self):
+        controller = SafetyController(regret_bound=10_000.0)
+        controller.ledger.record_prediction(IDX_A, 100.0)
+        controller.ledger.record_observation(IDX_A, 10.0)  # error 90
+        decision = controller.decide(
+            shadow(margin=5.0, benefit=5.0, arms=((IDX_A, 5.0),))
+        )
+        assert decision.action == "queue"
+        assert "shadow margin" in decision.reason
+
+    def test_exhausted_budget_degrades_to_shadow_only(self):
+        controller = SafetyController(regret_bound=50.0)
+        assert not controller.shadow_only()
+        controller.ledger.record_prediction(IDX_A, 80.0)
+        # Pending exposure alone exceeds the bound.
+        assert controller.shadow_only()
+        controller.ledger.record_observation(IDX_A, 80.0)  # no regret
+        assert not controller.shadow_only()
+
+    def test_restore_adopts_state_but_keeps_mode_knobs(self):
+        old = SafetyController(apply_mode="review")
+        old.ledger.record_prediction(IDX_A, 9.0)
+        old.gated_rounds = 3
+        new = SafetyController(apply_mode="auto", regret_bound=7.0)
+        new.restore(old.to_dict())
+        assert new.ledger.has_pending(IDX_A)
+        assert new.gated_rounds == 3
+        assert new.apply_mode == "auto"
+        assert new.regret_bound == 7.0
+
+
+class TestWindowSurvivesRestart:
+    def test_killed_mid_window_still_reverts_after_restore(
+        self, people_db, tmp_path
+    ):
+        """Satellite: the post-apply observation window must survive a
+        crash. Apply an index, checkpoint inside its window, restore
+        into a fresh advisor, turn the workload write-heavy — the
+        regressing index must still be auto-reverted and its ledger
+        claim settled."""
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40, seed=3)
+        for sql in READS:
+            people_db.execute(sql)
+            advisor.observe(sql)
+        first = advisor.tune()
+        target = IndexDef(
+            table="people", columns=("community", "status")
+        )
+        assert target.key in {d.key for d in first.created}
+        watched = {d.key for d in advisor.diagnosis.watched_indexes()}
+        assert target.key in watched
+        assert advisor.safety.ledger.has_pending(target)
+        advisor.save_state(tmp_path)
+
+        # The process dies here; a fresh advisor restores the window.
+        fresh = AutoIndexAdvisor(people_db, mcts_iterations=40, seed=3)
+        report = fresh.load_state(tmp_path)
+        assert report.loaded("safety.json")
+        assert {
+            d.key for d in fresh.diagnosis.watched_indexes()
+        } == watched
+        assert fresh.safety.ledger.has_pending(target)
+
+        for sql in UPDATES:
+            people_db.execute(sql)
+            fresh.observe(sql)
+        second = fresh.tune()
+        assert target.key in {d.key for d in second.dropped}
+        assert not people_db.has_index(target)
+        # The window's close settled the restored claim.
+        assert not fresh.safety.ledger.has_pending(target)
+        assert fresh.safety.ledger.observations >= 1
+
+
+class TestRevertUnderFaults:
+    def test_fault_mid_revert_rolls_back_and_rewatches(self, people_db):
+        """Satellite: a fault in the revert's own DDL must not strand
+        a half-reverted catalog. With two regressed indexes and the
+        fault on the second DROP, the first must be re-created."""
+        from repro.core.changeset import IndexChangeSet
+        from repro.core.pipeline import ObserveStage
+
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40, seed=3)
+        IndexChangeSet(people_db).apply(creates=[IDX_A, IDX_B])
+        ctx = advisor.make_context()
+        # Force the pass to see both as regressed, windows closed.
+        ctx.diagnosis.check_applied = (
+            lambda consume=True: [IDX_A, IDX_B]
+        )
+        ctx.diagnosis.pop_closed = lambda: []
+        attach(
+            people_db,
+            FaultPlan(seed=0).add("index.build", schedule=[2]),
+        )
+        ObserveStage().run(ctx)  # must not raise
+        assert "auto-revert failed" in ctx.report.degraded
+        # IDX_A's completed DROP was rolled back: nothing half-done.
+        assert people_db.has_index(IDX_A)
+        assert people_db.has_index(IDX_B)
+        assert ctx.report.rolled_back == 1
+        # Both are watched again so the revert retries next pass.
+        assert {IDX_A.key, IDX_B.key} <= {
+            d.key for d in advisor.diagnosis.watched_indexes()
+        }
+
+    def test_revert_retries_once_the_fault_clears(self, people_db):
+        """End to end: a fully faulted round leaves the regressing
+        index in place but re-armed; the next round reverts it."""
+        advisor = AutoIndexAdvisor(people_db, mcts_iterations=40, seed=3)
+        for sql in READS:
+            people_db.execute(sql)
+            advisor.observe(sql)
+        advisor.tune()
+        target = IndexDef(
+            table="people", columns=("community", "status")
+        )
+        assert people_db.has_index(target)
+
+        for sql in UPDATES:
+            people_db.execute(sql)
+            advisor.observe(sql)
+        attach(
+            people_db,
+            FaultPlan(seed=0).add("index.build", probability=1.0),
+        )
+        report = advisor.tune()  # must not raise
+        assert report.degraded
+        assert target.key not in {d.key for d in report.dropped}
+        assert people_db.has_index(target)
+        assert target.key in {
+            d.key for d in advisor.diagnosis.watched_indexes()
+        }
+
+        # Fault cleared: the retried revert completes next round.
+        people_db.faults = None
+        people_db.planner.faults = None
+        for sql in UPDATES:
+            people_db.execute(sql)
+            advisor.observe(sql)
+        retry = advisor.tune()
+        assert target.key in {d.key for d in retry.dropped}
+        assert not people_db.has_index(target)
