@@ -36,7 +36,7 @@ from repro.analysis.core import Checker, ModuleInfo, Violation, register
 #: Layers where set-iteration order matters (ordered outputs, costing
 #: tie-breaks).  Other layers either are inherently order-free or are
 #: covered by their own review (bench output is sorted explicitly).
-_ORDERED_LAYERS = {"core", "engine", "ports"}
+_ORDERED_LAYERS = {"core", "engine", "ports", "serve"}
 
 #: Call wrappers whose result does not depend on iteration order.
 _ORDER_FREE_WRAPPERS = {"set", "frozenset", "sorted", "any", "all", "len"}

@@ -19,6 +19,11 @@ Enforces the package import DAG::
   (generators build schemas/statements against the protocol);
 * ``bench`` may import everything, and **nothing imports bench**
   except ``__main__`` entry points and tests;
+* ``serve`` (the streaming daemon) may import ``core``, ``ports``,
+  ``engine``, ``workloads``, and ``sql`` — and, like bench,
+  **nothing imports serve** except its own ``__main__`` entry points
+  and tests: the daemon is a leaf consumer of the library, never a
+  dependency of it;
 * ``analysis`` is self-contained (stdlib + itself) so the linter can
   run without the engine's dependencies installed.
 
@@ -46,6 +51,7 @@ ALLOWED_IMPORTS: Dict[str, Set[str]] = {
         "bench", "core", "ports", "engine", "sql", "workloads",
         "analysis", "",
     },
+    "serve": {"serve", "core", "ports", "engine", "sql", "workloads"},
     "analysis": {"analysis"},
     "": {"sql", "engine", "ports", "core", "workloads", "analysis", ""},
 }
@@ -137,19 +143,24 @@ class LayerChecker(Checker):
                 target_layer = (
                     rest[0] if rest and rest[0] in KNOWN_LAYERS else ""
                 )
-                if target_layer == "bench" and layer != "bench":
-                    if module.is_dunder_main:
-                        continue
-                    yield Violation(
-                        rule="layer",
-                        path=module.rel_path,
-                        line=node.lineno,
-                        message=(
-                            f"'{target}' imported from layer "
-                            f"'{layer or 'root'}': only __main__ entry "
-                            "points and tests may import bench"
-                        ),
-                    )
+                # bench and serve are leaf layers: programs, not
+                # libraries.  Only their own modules, __main__ entry
+                # points, and tests may import them.
+                if target_layer in ("bench", "serve") and (
+                    layer != target_layer
+                ):
+                    if not module.is_dunder_main:
+                        yield Violation(
+                            rule="layer",
+                            path=module.rel_path,
+                            line=node.lineno,
+                            message=(
+                                f"'{target}' imported from layer "
+                                f"'{layer or 'root'}': only __main__ "
+                                "entry points and tests may import "
+                                f"{target_layer}"
+                            ),
+                        )
                     continue
                 if allowed is not None and target_layer not in allowed:
                     yield Violation(

@@ -78,6 +78,7 @@ KNOWN_LAYERS = (
     "bench",
     "workloads",
     "analysis",
+    "serve",
 )
 
 

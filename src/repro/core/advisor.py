@@ -27,6 +27,7 @@ import random
 from typing import List, Optional, Sequence
 
 from repro.core import checkpoint
+from repro.core.lifecycle import run_round
 from repro.core.candidates import CandidateGenerator
 from repro.core.changeset import IndexChangeSet
 from repro.core.diagnosis import IndexDiagnosis, IndexProblemReport
@@ -94,6 +95,7 @@ class AutoIndexAdvisor:
         apply_mode: str = "auto",
         regret_bound: Optional[float] = None,
         regret_headroom: float = 1.0,
+        safety: Optional[SafetyController] = None,
     ):
         self.db = db
         self.storage_budget = storage_budget
@@ -139,11 +141,17 @@ class AutoIndexAdvisor:
         # gate, and the DBA review queue. With the defaults
         # (apply_mode="auto", no regret_bound) the gate never holds a
         # change back — the ledger still records, so enabling a bound
-        # later starts from real history.
-        self.safety = SafetyController(
-            apply_mode=apply_mode,
-            regret_bound=regret_bound,
-            regret_headroom=regret_headroom,
+        # later starts from real history. A prebuilt controller (the
+        # tenant registry constructs one per tenant from its
+        # SafetyPolicy) takes precedence over the scalar knobs.
+        self.safety = (
+            safety
+            if safety is not None
+            else SafetyController(
+                apply_mode=apply_mode,
+                regret_bound=regret_bound,
+                regret_headroom=regret_headroom,
+            )
         )
         self.statements_analyzed = 0
         self.observe_failures = 0
@@ -486,13 +494,15 @@ class AutoIndexAdvisor:
         and the apply itself is transactional — a failure
         mid-sequence rolls the catalog back to exactly the pre-apply
         configuration.
+
+        This facade delegates to :func:`repro.core.lifecycle.run_round`
+        — the same entry point the serving daemon's per-tenant
+        sessions use — so the library path and the daemon path are
+        one code path.
         """
-        ctx = self.make_context(
+        return run_round(
+            self,
             force=force,
             trigger_threshold=trigger_threshold,
             scope_tables=scope_tables,
         )
-        self.pipeline.run(ctx)
-        report = ctx.finalize(self.statements_analyzed)
-        self.tuning_history.append(report)
-        return report

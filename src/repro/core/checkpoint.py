@@ -26,6 +26,13 @@ complete-but-unmanifested file is exactly what a mid-save crash leaves
 behind. A component with no loadable candidate is *skipped* (the
 caller keeps its in-memory state); :func:`read_component` never
 raises.
+
+Multi-tenant layout: a checkpoint *root* holds one namespace per
+tenant (``<root>/tenant-<encoded id>/``), each an ordinary checkpoint
+directory with all of the guarantees above.  :func:`tenant_namespace`
+maps a tenant id to its directory (percent-encoding anything the
+filesystem or the ``.prev`` rotation could misread), and
+:func:`list_tenant_namespaces` enumerates a root.
 """
 
 from __future__ import annotations
@@ -46,6 +53,95 @@ from repro.engine.faults import (
 MANIFEST_NAME = "manifest.json"
 PREV_SUFFIX = ".prev"
 FORMAT_VERSION = 1
+
+#: Subdirectory prefix marking a tenant namespace inside a checkpoint
+#: root; the rest of the name is the percent-encoded tenant id.
+TENANT_PREFIX = "tenant-"
+
+#: Characters a tenant id may contribute verbatim to its directory
+#: name; anything else is percent-encoded.  Deliberately excludes
+#: ``.`` so no encoded id can spell ``.``/``..`` or collide with the
+#: ``.prev`` rotation suffix.
+_TENANT_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789-_"
+)
+
+
+def encode_tenant_id(tenant_id: str) -> str:
+    """Filesystem-safe, collision-free spelling of a tenant id.
+
+    Safe characters pass through; everything else (including ``/``,
+    ``.`` and ``%`` itself) becomes ``%XX`` per UTF-8 byte, so two
+    distinct ids can never map to one directory and no id can escape
+    the checkpoint root.
+    """
+    if not tenant_id:
+        raise ValueError("tenant id must be non-empty")
+    out = []
+    for ch in tenant_id:
+        if ch in _TENANT_SAFE:
+            out.append(ch)
+        else:
+            out.extend(f"%{b:02X}" for b in ch.encode("utf-8"))
+    return "".join(out)
+
+
+def decode_tenant_id(encoded: str) -> str:
+    """Inverse of :func:`encode_tenant_id`."""
+    data = bytearray()
+    i = 0
+    while i < len(encoded):
+        ch = encoded[i]
+        if ch == "%":
+            data.append(int(encoded[i + 1 : i + 3], 16))
+            i += 3
+        else:
+            data.extend(ch.encode("utf-8"))
+            i += 1
+    return data.decode("utf-8")
+
+
+def tenant_namespace(root, tenant_id: str) -> pathlib.Path:
+    """The per-tenant checkpoint directory under ``root``.
+
+    Each namespace is an ordinary checkpoint directory — the atomic
+    write, ``.prev`` rotation, and manifest-last guarantees of
+    :func:`write_checkpoint` apply per tenant, and concurrent saves to
+    *different* tenants never touch each other's files.  The directory
+    is not created here; :func:`write_checkpoint` creates it on first
+    save.
+    """
+    return pathlib.Path(root) / (
+        TENANT_PREFIX + encode_tenant_id(tenant_id)
+    )
+
+
+def list_tenant_namespaces(root) -> List[str]:
+    """Tenant ids with a namespace under ``root``, sorted.
+
+    Only directories carrying the tenant prefix count; a namespace
+    that exists but was never saved to (no files yet) is still
+    listed, since the daemon creates tenants before their first
+    checkpoint lands.
+    """
+    path = pathlib.Path(root)
+    if not path.is_dir():
+        return []
+    tenants = []
+    for entry in sorted(path.iterdir()):
+        if not entry.is_dir():
+            continue
+        if not entry.name.startswith(TENANT_PREFIX):
+            continue
+        try:
+            tenants.append(
+                decode_tenant_id(entry.name[len(TENANT_PREFIX):])
+            )
+        except (ValueError, UnicodeDecodeError):
+            continue
+    return tenants
 
 
 @dataclass

@@ -80,6 +80,42 @@ class TuningReport:
     def changed(self) -> bool:
         return bool(self.created or self.dropped)
 
+    def to_dict(self) -> dict:
+        """Normalized, timing-free form of the report.
+
+        This is the bit-identical surface of a round: everything a
+        round *decided* (index changes, benefits, counters, gate
+        outcome) with the two things that legitimately differ between
+        replays of the same decision stripped out — wall-clock
+        ``elapsed_seconds`` and the in-memory ``search`` object (whose
+        decision content is already summarized in the scalar fields).
+        The daemon persists this per round, and the serve parity suite
+        compares it across the daemon and library paths.
+        """
+        return {
+            "created": [d.to_dict() for d in self.created],
+            "dropped": [d.to_dict() for d in self.dropped],
+            "estimated_benefit": self.estimated_benefit,
+            "baseline_cost": self.baseline_cost,
+            "templates_used": self.templates_used,
+            "candidates_considered": self.candidates_considered,
+            "estimator_calls": self.estimator_calls,
+            "plans_computed": self.plans_computed,
+            "cache_hit_rate": self.cache_hit_rate,
+            "statements_analyzed": self.statements_analyzed,
+            "skipped": self.skipped,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "rolled_back": self.rolled_back,
+            "deadline_hit": self.deadline_hit,
+            "degraded": self.degraded,
+            "gated": self.gated,
+            "gate_reason": self.gate_reason,
+            "queued": self.queued,
+            "shadow_margin": self.shadow_margin,
+            "cumulative_regret": self.cumulative_regret,
+        }
+
     def render(self) -> str:
         """Human-readable one-round summary (for logs and examples)."""
         if self.skipped:

@@ -51,11 +51,67 @@ __all__ = [
     "PendingRecommendation",
     "ReviewQueue",
     "SafetyController",
+    "SafetyPolicy",
     "ShadowReport",
     "TemplateImpact",
     "evaluate_shadow",
     "explain_change",
 ]
+
+
+# ---------------------------------------------------------------------------
+# per-tenant policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SafetyPolicy:
+    """Per-tenant apply/regret configuration.
+
+    The serving daemon maps every tenant to its own policy; each
+    tenant then gets an *independent* :class:`SafetyController` — its
+    own ledger, its own review queue, its own regret budget — so one
+    tenant burning through its bound can never gate another tenant's
+    applies, and a DBA verdict on one tenant's queue never leaks into
+    a neighbour's training data.  The library path uses the same
+    defaults through the advisor's scalar knobs.
+    """
+
+    apply_mode: str = "auto"
+    regret_bound: Optional[float] = None
+    regret_headroom: float = 1.0
+    gate_min_observations: int = 1
+
+    def controller(self) -> "SafetyController":
+        """A fresh, independent controller honouring this policy."""
+        return SafetyController(
+            apply_mode=self.apply_mode,
+            regret_bound=self.regret_bound,
+            regret_headroom=self.regret_headroom,
+            gate_min_observations=self.gate_min_observations,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "apply_mode": self.apply_mode,
+            "regret_bound": self.regret_bound,
+            "regret_headroom": self.regret_headroom,
+            "gate_min_observations": self.gate_min_observations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SafetyPolicy":
+        bound = data.get("regret_bound")
+        return cls(
+            apply_mode=str(data.get("apply_mode", "auto")),
+            regret_bound=(
+                float(bound) if bound is not None else None  # type: ignore[arg-type]
+            ),
+            regret_headroom=float(data.get("regret_headroom", 1.0)),  # type: ignore[arg-type]
+            gate_min_observations=int(
+                data.get("gate_min_observations", 1)  # type: ignore[arg-type]
+            ),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -11,9 +11,11 @@ from repro.ports.backend import (
     WhatIfCost,
 )
 from repro.ports.factory import (
+    BackendSpec,
     DEFAULT_BACKEND,
     available_backends,
     create_backend,
+    register_backend,
 )
 from repro.ports.memory import MemoryBackend
 from repro.ports.sqlite import SqliteBackend
@@ -25,6 +27,7 @@ from repro.ports.whatif import (
 )
 
 __all__ = [
+    "BackendSpec",
     "DEFAULT_BACKEND",
     "ExecutionOutcome",
     "MemoryBackend",
@@ -33,6 +36,7 @@ __all__ = [
     "WhatIfCost",
     "available_backends",
     "create_backend",
+    "register_backend",
     "overlay_split",
     "planned_whatif",
     "strip_placeholders",

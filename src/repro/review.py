@@ -10,6 +10,13 @@ without the advisor process running::
     python -m repro.review CKPT accept 3 --note "matches the new report workload"
     python -m repro.review CKPT reject 3 --note "write-heavy table, not worth it"
 
+Daemon checkpoints are per-tenant namespaces under one root
+(``<root>/tenant-<id>/``); address them with ``--checkpoint-dir`` and
+``--tenant`` instead of the positional directory::
+
+    python -m repro.review --checkpoint-dir /var/ai-ckpt --tenant alpha list
+    python -m repro.review --checkpoint-dir /var/ai-ckpt --tenant alpha accept 3
+
 Verdicts are written back into the checkpoint with the same
 crash-safety guarantees as an advisor save (atomic replace, previous
 generation kept, manifest updated last). The verdict itself changes
@@ -124,16 +131,100 @@ def cmd_resolve(
     return 0
 
 
+_COMMANDS = ("list", "show", "accept", "reject")
+
+#: Pre-command option flags that consume the next token.
+_VALUE_FLAGS = ("--checkpoint-dir", "--tenant")
+
+
+def _extract_checkpoint(argv: List[str]):
+    """Pull the legacy positional checkpoint directory out of argv.
+
+    The positional lives *before* the subcommand (``CKPT list``),
+    which argparse cannot disambiguate from a subcommand with its own
+    positionals once the directory is optional (``--checkpoint-dir R
+    --tenant T accept 3`` would misparse ``accept`` as the
+    directory).  So the first bare token before the subcommand
+    keyword is extracted by hand; everything else goes to argparse.
+    """
+    checkpoint = None
+    rest: List[str] = []
+    i = 0
+    while i < len(argv):
+        token = argv[i]
+        if token in _COMMANDS:
+            rest.extend(argv[i:])
+            break
+        if token.startswith("-"):
+            rest.append(token)
+            if token in _VALUE_FLAGS and i + 1 < len(argv):
+                i += 1
+                rest.append(argv[i])
+        elif checkpoint is None:
+            checkpoint = token
+        else:
+            rest.append(token)  # surplus: let argparse reject it
+        i += 1
+    return checkpoint, rest
+
+
+def _resolve_directory(args):
+    """Pick the checkpoint directory from the two addressing modes.
+
+    Either the positional directory (single-advisor checkpoints) or
+    ``--checkpoint-dir`` + ``--tenant`` (a daemon root holding
+    ``tenant-<id>/`` namespaces) — exactly one of the two.
+    """
+    if args.checkpoint is not None and args.checkpoint_dir is not None:
+        print(
+            "pass either a positional checkpoint directory or "
+            "--checkpoint-dir, not both"
+        )
+        return None
+    if args.checkpoint is not None:
+        return args.checkpoint
+    if args.checkpoint_dir is None:
+        print(
+            "pass a checkpoint directory (positional) or "
+            "--checkpoint-dir with --tenant"
+        )
+        return None
+    if args.tenant is None:
+        tenants = checkpoint.list_tenant_namespaces(args.checkpoint_dir)
+        listing = ", ".join(tenants) if tenants else "(none found)"
+        print(
+            "--checkpoint-dir needs --tenant; tenants under "
+            f"{args.checkpoint_dir!r}: {listing}"
+        )
+        return None
+    return checkpoint.tenant_namespace(args.checkpoint_dir, args.tenant)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.review",
+        usage=(
+            "python -m repro.review [-h] [CHECKPOINT | "
+            "--checkpoint-dir ROOT --tenant ID] "
+            "{list,show,accept,reject} ..."
+        ),
         description=(
             "Inspect and resolve the advisor's gated index "
-            "recommendations stored in a checkpoint directory."
+            "recommendations stored in a checkpoint directory "
+            "(positional CHECKPOINT, given before the subcommand) "
+            "or in a daemon's per-tenant namespace "
+            "(--checkpoint-dir with --tenant)."
         ),
     )
     parser.add_argument(
-        "checkpoint", help="advisor checkpoint directory"
+        "--checkpoint-dir",
+        default=None,
+        help="daemon checkpoint root holding tenant-<id>/ namespaces",
+    )
+    parser.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant id to resolve inside --checkpoint-dir",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list pending recommendations")
@@ -150,13 +241,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     reject.add_argument("rec_id", type=int)
     reject.add_argument("--note", default="", help="verdict note")
-    args = parser.parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    checkpoint, rest = _extract_checkpoint(list(argv))
+    args = parser.parse_args(rest)
+    args.checkpoint = checkpoint
 
-    state = _load_state(args.checkpoint)
+    directory = _resolve_directory(args)
+    if directory is None:
+        return 2
+    state = _load_state(directory)
     if state is None:
         print(
             f"no readable {SAFETY_COMPONENT} in "
-            f"{args.checkpoint!r} (not an advisor checkpoint?)"
+            f"{str(directory)!r} (not an advisor checkpoint?)"
         )
         return 2
     queue = _queue_of(state)
@@ -165,7 +263,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "show":
         return cmd_show(queue, args.rec_id)
     return cmd_resolve(
-        args.checkpoint,
+        directory,
         state,
         queue,
         args.rec_id,

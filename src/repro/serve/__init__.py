@@ -1,0 +1,35 @@
+"""repro.serve — the streaming multi-tenant tuning daemon.
+
+The serve layer turns the call-per-round advisor library into a
+long-running service: a :class:`~repro.serve.daemon.TuningDaemon`
+hosts many per-tenant tuning contexts (each with its own backend,
+template store, safety controller, and round lifecycle), runs due
+rounds under fair admission control, and checkpoints every tenant
+into its own crash-safe namespace.
+
+Layering: serve imports core/ports/engine/workloads; nothing outside
+``python -m repro.serve`` and the tests imports serve (enforced by
+the layers checker, like bench).
+"""
+
+from repro.serve.config import (
+    TenantSpec,
+    make_generator,
+    parse_tenant_spec,
+    workload_names,
+)
+from repro.serve.daemon import TuningDaemon
+from repro.serve.registry import TenantRegistry, TenantRuntime
+from repro.serve.scheduler import RoundJob, RoundScheduler
+
+__all__ = [
+    "TenantSpec",
+    "TenantRegistry",
+    "TenantRuntime",
+    "TuningDaemon",
+    "RoundJob",
+    "RoundScheduler",
+    "make_generator",
+    "parse_tenant_spec",
+    "workload_names",
+]

@@ -1,0 +1,321 @@
+"""``python -m repro.serve`` — drive the streaming tuning daemon.
+
+Subcommands::
+
+    start      run a daemon on a Unix control socket (foreground)
+    ingest     send statements (literal, from a file, or generated
+               from a named workload) into one tenant's stream
+    status     daemon-wide counters: per-tenant sessions + scheduler
+    rounds     the round log (admission order), optionally per tenant
+    recommend  pending gated recommendations for one tenant
+    review     record a DBA verdict on a gated recommendation
+    shutdown   drain queued rounds, checkpoint every tenant, stop
+    verify     offline parity check: replay a checkpointed tenant's
+               stream through the library path and diff the surfaces
+
+Example — two tenants on different backends in one daemon::
+
+    python -m repro.serve start --socket /tmp/ai.sock \\
+        --checkpoint-dir /tmp/ai-ckpt \\
+        --tenant alpha,backend=memory,workload=banking,round-every=120 \\
+        --tenant beta,backend=sqlite,seed=11,workload=tpcc &
+    python -m repro.serve ingest --socket /tmp/ai.sock \\
+        --tenant alpha --workload banking --count 120
+    python -m repro.serve status --socket /tmp/ai.sock
+    python -m repro.serve shutdown --socket /tmp/ai.sock
+    python -m repro.serve verify --checkpoint-dir /tmp/ai-ckpt \\
+        --tenant alpha
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.serve.config import (
+    TenantSpec,
+    make_generator,
+    parse_tenant_spec,
+    workload_names,
+)
+
+__all__ = ["main"]
+
+
+def _print(payload) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _add_socket(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket",
+        required=True,
+        help="path of the daemon's Unix control socket",
+    )
+
+
+def _client(args):
+    from repro.serve.server import DaemonClient
+
+    return DaemonClient(args.socket, timeout=args.timeout)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_start(args) -> int:
+    from repro.serve.daemon import TuningDaemon
+    from repro.serve.server import DaemonServer
+
+    specs: List[TenantSpec] = [
+        parse_tenant_spec(text) for text in args.tenant
+    ]
+    checkpoint_root = (
+        pathlib.Path(args.checkpoint_dir)
+        if args.checkpoint_dir
+        else None
+    )
+    if checkpoint_root is not None:
+        checkpoint_root.mkdir(parents=True, exist_ok=True)
+    daemon = TuningDaemon(
+        checkpoint_root=checkpoint_root,
+        max_concurrent_rounds=args.max_concurrent_rounds,
+        workers=args.workers,
+    )
+    for spec in specs:
+        daemon.add_tenant(spec)
+    socket_path = pathlib.Path(args.socket)
+    if socket_path.exists():
+        socket_path.unlink()
+    server = DaemonServer(daemon, str(socket_path))
+    print(
+        f"serving {len(specs)} tenant(s) on {socket_path} "
+        f"(workers={args.workers})",
+        file=sys.stderr,
+    )
+    result = server.serve_forever()
+    if socket_path.exists():
+        socket_path.unlink()
+    _print(result if result is not None else {"stopped": True})
+    return 0
+
+
+def _gather_statements(args) -> List[str]:
+    statements: List[str] = []
+    for sql in args.sql or ():
+        statements.append(sql)
+    if args.file:
+        text = pathlib.Path(args.file).read_text(encoding="utf-8")
+        statements.extend(
+            line.strip()
+            for line in text.splitlines()
+            if line.strip() and not line.strip().startswith("--")
+        )
+    if args.workload:
+        generator = make_generator(args.workload, seed=args.seed)
+        statements.extend(
+            q.sql for q in generator.queries(args.count, seed=args.seed)
+        )
+    if not statements:
+        raise SystemExit(
+            "nothing to ingest: pass --sql, --file, or --workload"
+        )
+    return statements
+
+
+def cmd_ingest(args) -> int:
+    _print(
+        _client(args).ingest(args.tenant, _gather_statements(args))
+    )
+    return 0
+
+
+def cmd_status(args) -> int:
+    _print(_client(args).status())
+    return 0
+
+
+def cmd_rounds(args) -> int:
+    _print(_client(args).rounds(args.tenant))
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    _print(_client(args).recommend(args.tenant))
+    return 0
+
+
+def cmd_review(args) -> int:
+    _print(
+        _client(args).review(
+            args.tenant,
+            args.rec_id,
+            accept=args.verdict == "accept",
+            note=args.note,
+        )
+    )
+    return 0
+
+
+def cmd_shutdown(args) -> int:
+    _print(_client(args).shutdown(drain=not args.no_drain))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.serve.parity import (
+        checkpoint_surface,
+        compare_surfaces,
+        replay_library_path,
+    )
+
+    surface = checkpoint_surface(args.checkpoint_dir, args.tenant)
+    if surface is None:
+        print(
+            f"no usable checkpoint for tenant {args.tenant!r} "
+            f"under {args.checkpoint_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = TenantSpec.from_dict(surface["spec"])
+    ingested = int(surface["counters"].get("ingested", 0))
+    library = replay_library_path(spec, ingested)
+    mismatches = compare_surfaces(surface, library)
+    _print(
+        {
+            "tenant": args.tenant,
+            "statements_replayed": ingested,
+            "rounds": len(surface["reports"]),
+            "parity": not mismatches,
+            "mismatches": mismatches,
+        }
+    )
+    return 0 if not mismatches else 1
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="streaming multi-tenant tuning daemon",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="client socket timeout in seconds (default 60)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("start", help="run a daemon (foreground)")
+    _add_socket(p)
+    p.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="tenant spec: name,key=value,... (repeatable); keys "
+        "include backend, seed, capacity, workload, round-every, "
+        "round-budget, apply-mode, regret-bound",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="root under which each tenant gets a tenant-<id>/ "
+        "checkpoint namespace",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="background round workers; 0 = run rounds inline "
+        "during ingest (default 1)",
+    )
+    p.add_argument(
+        "--max-concurrent-rounds",
+        type=int,
+        default=1,
+        help="admission-control cap on simultaneous rounds",
+    )
+    p.set_defaults(func=cmd_start)
+
+    p = sub.add_parser("ingest", help="send statements to a tenant")
+    _add_socket(p)
+    p.add_argument("--tenant", required=True)
+    p.add_argument(
+        "--sql", action="append", help="literal statement (repeatable)"
+    )
+    p.add_argument("--file", help="file of statements, one per line")
+    p.add_argument(
+        "--workload",
+        choices=workload_names(),
+        help="generate statements from a named workload",
+    )
+    p.add_argument("--count", type=int, default=100)
+    p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("status", help="daemon-wide counters")
+    _add_socket(p)
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("rounds", help="round log in admission order")
+    _add_socket(p)
+    p.add_argument("--tenant", default=None)
+    p.set_defaults(func=cmd_rounds)
+
+    p = sub.add_parser(
+        "recommend", help="pending recommendations for a tenant"
+    )
+    _add_socket(p)
+    p.add_argument("--tenant", required=True)
+    p.set_defaults(func=cmd_recommend)
+
+    p = sub.add_parser("review", help="record a DBA verdict")
+    _add_socket(p)
+    p.add_argument("--tenant", required=True)
+    p.add_argument("--rec-id", type=int, required=True)
+    p.add_argument("verdict", choices=("accept", "reject"))
+    p.add_argument("--note", default="")
+    p.set_defaults(func=cmd_review)
+
+    p = sub.add_parser(
+        "shutdown", help="drain, checkpoint, and stop the daemon"
+    )
+    _add_socket(p)
+    p.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="stop without running queued rounds",
+    )
+    p.set_defaults(func=cmd_shutdown)
+
+    p = sub.add_parser(
+        "verify",
+        help="offline daemon-vs-library parity check for a "
+        "checkpointed tenant",
+    )
+    p.add_argument("--checkpoint-dir", required=True)
+    p.add_argument("--tenant", required=True)
+    p.set_defaults(func=cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Per-tenant checkpoint namespaces: encoding, isolation, and the
+atomic/.prev/manifest guarantees under rapid successive saves."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import checkpoint
+
+
+# ---------------------------------------------------------------------------
+# tenant id encoding
+# ---------------------------------------------------------------------------
+
+
+def test_safe_ids_round_trip_verbatim():
+    for tenant_id in ("alpha", "Tenant-7", "a_b-c9"):
+        encoded = checkpoint.encode_tenant_id(tenant_id)
+        assert encoded == tenant_id
+        assert checkpoint.decode_tenant_id(encoded) == tenant_id
+
+
+def test_hostile_ids_cannot_escape_or_collide():
+    hostile = ["../evil", "a/b", "a.prev", "a b", "ünïcode", "."]
+    encoded = [checkpoint.encode_tenant_id(t) for t in hostile]
+    # No path separators, no dots — so no traversal and no
+    # collision with the .prev generation suffix.
+    for enc in encoded:
+        assert "/" not in enc and "." not in enc
+    # Injective: distinct ids stay distinct.
+    assert len(set(encoded)) == len(hostile)
+    for tenant_id, enc in zip(hostile, encoded):
+        assert checkpoint.decode_tenant_id(enc) == tenant_id
+
+
+def test_empty_tenant_id_rejected():
+    with pytest.raises(ValueError):
+        checkpoint.encode_tenant_id("")
+
+
+def test_namespaces_are_disjoint(tmp_path):
+    a = checkpoint.tenant_namespace(tmp_path, "alpha")
+    b = checkpoint.tenant_namespace(tmp_path, "beta")
+    assert a != b
+    assert a.parent == b.parent == tmp_path
+
+
+def test_list_tenant_namespaces_decodes_and_sorts(tmp_path):
+    for tenant_id in ("beta", "alpha", "has space"):
+        checkpoint.tenant_namespace(tmp_path, tenant_id).mkdir(
+            parents=True
+        )
+    (tmp_path / "unrelated").mkdir()
+    assert checkpoint.list_tenant_namespaces(tmp_path) == [
+        "alpha",
+        "beta",
+        "has space",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# rapid successive saves into one namespace
+# ---------------------------------------------------------------------------
+
+
+def _save(directory, generation: int):
+    blob = json.dumps({"generation": generation}).encode("utf-8")
+    return checkpoint.write_checkpoint(
+        directory, {"state.json": blob}
+    )
+
+
+def _load_generation(directory):
+    manifest = checkpoint.read_manifest(directory)
+    report = checkpoint.CheckpointLoadReport()
+    state = checkpoint.read_component(
+        directory,
+        "state.json",
+        lambda blob: json.loads(blob.decode("utf-8")),
+        manifest,
+        report,
+    )
+    return state, report
+
+
+def test_rapid_saves_retain_previous_generation(tmp_path):
+    namespace = checkpoint.tenant_namespace(tmp_path, "alpha")
+    for generation in range(5):
+        _save(namespace, generation)
+    # Current generation is the last save; .prev is the one before.
+    state, _ = _load_generation(namespace)
+    assert state == {"generation": 4}
+    prev = json.loads(
+        (namespace / "state.json.prev").read_bytes().decode("utf-8")
+    )
+    assert prev == {"generation": 3}
+    manifest_prev = json.loads(
+        (namespace / (checkpoint.MANIFEST_NAME + ".prev"))
+        .read_bytes()
+        .decode("utf-8")
+    )
+    assert isinstance(manifest_prev.get("components"), dict)
+
+
+def test_corrupt_current_falls_back_to_prev(tmp_path):
+    namespace = checkpoint.tenant_namespace(tmp_path, "alpha")
+    _save(namespace, 0)
+    _save(namespace, 1)
+    # Simulate a torn write of the current generation.
+    (namespace / "state.json").write_bytes(b'{"generation":')
+    state, report = _load_generation(namespace)
+    assert state == {"generation": 0}
+    (component,) = report.components
+    assert component.status == "fallback"
+
+
+def test_corrupt_manifest_falls_back_to_prev_manifest(tmp_path):
+    namespace = checkpoint.tenant_namespace(tmp_path, "alpha")
+    _save(namespace, 0)
+    _save(namespace, 1)
+    (namespace / checkpoint.MANIFEST_NAME).write_bytes(b"not json")
+    manifest = checkpoint.read_manifest(namespace)
+    assert manifest is not None
+    assert "state.json" in manifest["components"]
+    state, _ = _load_generation(namespace)
+    assert state == {"generation": 1}
+
+
+def test_namespaced_saves_do_not_cross_tenants(tmp_path):
+    alpha = checkpoint.tenant_namespace(tmp_path, "alpha")
+    beta = checkpoint.tenant_namespace(tmp_path, "beta")
+    _save(alpha, 10)
+    _save(beta, 20)
+    assert _load_generation(alpha)[0] == {"generation": 10}
+    assert _load_generation(beta)[0] == {"generation": 20}

@@ -1,0 +1,108 @@
+"""Admission control: fairness, dedup, bounds, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.scheduler import RoundScheduler
+
+
+def test_fifo_admission_order():
+    sched = RoundScheduler(max_concurrent=3)
+    for tenant in ("c", "a", "b"):
+        assert sched.offer(tenant)
+    admitted = [sched.admit().tenant_id for _ in range(3)]
+    assert admitted == ["c", "a", "b"]
+
+
+def test_offer_dedups_queued_and_running():
+    sched = RoundScheduler()
+    assert sched.offer("a")
+    assert not sched.offer("a")  # already queued
+    job = sched.admit()
+    assert not sched.offer("a")  # running
+    sched.complete(job)
+    assert sched.offer("a")  # free again
+
+
+def test_max_concurrent_bounds_running_rounds():
+    sched = RoundScheduler(max_concurrent=2)
+    for tenant in ("a", "b", "c"):
+        sched.offer(tenant)
+    first = sched.admit()
+    second = sched.admit()
+    assert first and second
+    assert sched.admit() is None  # at the cap
+    sched.complete(first)
+    third = sched.admit()
+    assert third.tenant_id == "c"
+
+
+def test_requeue_goes_to_the_tail():
+    """A still-due tenant waits behind every other ready tenant —
+    the hot tenant cannot starve cold ones."""
+    sched = RoundScheduler()
+    sched.offer("hot")
+    job = sched.admit()
+    sched.offer("cold1")
+    sched.offer("cold2")
+    sched.complete(job, requeue=True)
+    order = []
+    while True:
+        nxt = sched.admit()
+        if nxt is None:
+            break
+        order.append(nxt.tenant_id)
+        sched.complete(nxt)
+    assert order == ["cold1", "cold2", "hot"]
+
+
+def test_sequence_numbers_total_order():
+    sched = RoundScheduler(max_concurrent=10)
+    for tenant in ("a", "b", "c"):
+        sched.offer(tenant)
+    seqs = [sched.admit().seq for _ in range(3)]
+    assert seqs == [0, 1, 2]
+
+
+def test_virtual_clock_never_wall_clock():
+    """Replaying the same event sequence yields identical
+    timestamps — scheduling time is virtual, not wall time."""
+
+    def run():
+        sched = RoundScheduler()
+        stamps = []
+        for tenant in ("a", "b"):
+            sched.offer(tenant)
+        while True:
+            job = sched.admit()
+            if job is None:
+                break
+            stamps.append((job.tenant_id, job.offered_at, job.admitted_at))
+            sched.complete(job)
+        return stamps, sched.snapshot()["virtual_time"]
+
+    assert run() == run()
+
+
+def test_complete_rejects_stale_job():
+    sched = RoundScheduler()
+    sched.offer("a")
+    job = sched.admit()
+    sched.complete(job)
+    with pytest.raises(ValueError):
+        sched.complete(job)
+
+
+def test_forget_drops_queued_tenant():
+    sched = RoundScheduler()
+    sched.offer("a")
+    sched.offer("b")
+    sched.forget("a")
+    assert sched.queued() == ["b"]
+    sched.forget("missing")  # no-op
+
+
+def test_rejects_nonpositive_concurrency():
+    with pytest.raises(ValueError):
+        RoundScheduler(max_concurrent=0)

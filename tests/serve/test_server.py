@@ -1,0 +1,85 @@
+"""Control socket: every op round-trips over the Unix socket."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.config import make_generator, parse_tenant_spec
+from repro.serve.daemon import TuningDaemon
+from repro.serve.server import DaemonClient, DaemonServer
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A daemon with one tenant serving on a temp Unix socket."""
+    daemon = TuningDaemon(
+        checkpoint_root=tmp_path / "ckpt", workers=1
+    )
+    daemon.add_tenant(
+        parse_tenant_spec(
+            "alpha,workload=banking,round-every=40,mcts-iterations=20"
+        )
+    )
+    socket_path = tmp_path / "control.sock"
+    server = DaemonServer(daemon, str(socket_path))
+    thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    thread.start()
+    client = DaemonClient(str(socket_path), timeout=120.0)
+    deadline = 200
+    while deadline and not client.ping():
+        deadline -= 1
+        time.sleep(0.05)
+    assert deadline, "daemon socket never came up"
+    yield daemon, client
+    server.close()
+    thread.join(timeout=5.0)
+
+
+def test_socket_round_trip(served):
+    daemon, client = served
+    generator = make_generator("banking", seed=5)
+    statements = [q.sql for q in generator.queries(40, seed=5)]
+
+    result = client.ingest("alpha", statements)
+    assert result["ingested"] == 40
+
+    # Poll status until the background worker finishes the round.
+    for _ in range(1200):
+        status = client.status()
+        if status["rounds_completed"] >= 1:
+            break
+        time.sleep(0.05)
+    assert status["rounds_completed"] == 1
+    assert "alpha" in status["tenants"]
+
+    rounds = client.rounds("alpha")["rounds"]
+    assert len(rounds) == 1
+    assert rounds[0]["tenant_id"] == "alpha"
+    assert not rounds[0]["skipped"]
+
+    recommendations = client.recommend("alpha")["recommendations"]
+    assert isinstance(recommendations, list)
+
+    spec = parse_tenant_spec(
+        "beta,backend=sqlite,workload=banking,round-every=500"
+    )
+    added = client.add_tenant(spec.to_dict())
+    assert added["status"]["tenant_id"] == "beta"
+    assert added["status"]["backend"] == "sqlite"
+
+    result = client.shutdown()
+    assert result["rounds_completed"] == 1
+    assert sorted(result["tenants"]) == ["alpha", "beta"]
+
+
+def test_unknown_op_is_an_error_not_a_crash(served):
+    daemon, client = served
+    with pytest.raises(RuntimeError, match="unknown op"):
+        client.call({"op": "frobnicate"})
+    # The server survives and keeps answering.
+    assert client.ping()
